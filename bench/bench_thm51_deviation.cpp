@@ -1,0 +1,119 @@
+// Experiment THM5.1 — Lemma 5.1/5.2 and Theorem 5.1: every deviation
+// class is detected by the protocol, the deviant is fined more than it
+// could ever gain, and honest processors never get fined.
+//
+// Reproduction targets: detection rate 1.0 for every finable class over
+// randomized instances and deviant positions; deviant net utility below
+// the honest counterfactual in 100% of runs; zero false fines on honest
+// agents (Lemma 5.2).
+#include <iostream>
+
+#include "agents/agent.hpp"
+#include "analysis/experiments.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "net/networks.hpp"
+#include "protocol/runner.hpp"
+
+namespace {
+
+using dls::agents::Behavior;
+using dls::agents::Population;
+using dls::agents::StrategicAgent;
+
+Population population_for(const dls::net::LinearNetwork& net,
+                          std::size_t deviant, const Behavior& b) {
+  std::vector<StrategicAgent> agents;
+  for (std::size_t i = 1; i < net.size(); ++i) {
+    agents.push_back(StrategicAgent{
+        i, net.w(i), i == deviant ? b : Behavior::truthful()});
+  }
+  return Population(std::move(agents));
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== THM5.1: deviation detection and economics ===\n\n";
+
+  struct Row {
+    Behavior behavior;
+    int runs = 0;
+    int detected = 0;
+    int unprofitable = 0;
+    dls::common::OnlineStats net_loss;  // honest minus deviant utility
+  };
+  std::vector<Row> rows = {
+      {Behavior::contradictor()},     {Behavior::miscomputer()},
+      {Behavior::load_shedder(0.25)}, {Behavior::load_shedder(0.75)},
+      {Behavior::overcharger(0.5)},   {Behavior::false_accuser()},
+  };
+
+  dls::common::Rng rng(1337);
+  int honest_fines = 0;
+  constexpr int kInstances = 60;
+  for (int rep = 0; rep < kInstances; ++rep) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(2, 8));
+    const auto net = dls::net::LinearNetwork::random(
+        m + 1, rng, dls::analysis::kWLo, dls::analysis::kWHi,
+        dls::analysis::kZLo, dls::analysis::kZHi);
+    dls::protocol::ProtocolOptions options;
+    options.seed = rng.bits();
+    options.mechanism.audit_probability = 1.0;
+    const auto honest = dls::protocol::run_protocol(
+        net, population_for(net, 0, Behavior::truthful()), options);
+    for (std::size_t i = 1; i <= m; ++i) {
+      if (honest.processors[i].fines > 0.0) ++honest_fines;
+    }
+
+    // Positions 1..m-1 only: the terminal processor has no successor to
+    // miscompute a D for and is forced to retain all received load, so
+    // those two deviations are impossible there by construction.
+    const auto deviant = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(m) - 1));
+    for (Row& row : rows) {
+      const auto report = dls::protocol::run_protocol(
+          net, population_for(net, deviant, row.behavior), options);
+      ++row.runs;
+      bool caught = false;
+      for (const auto& inc : report.incidents) {
+        const std::size_t loser =
+            inc.substantiated ? inc.accused : inc.reporter;
+        if (loser == deviant && inc.fine > 0.0) caught = true;
+      }
+      if (caught) ++row.detected;
+      const double loss = honest.processors[deviant].utility -
+                          report.processors[deviant].utility;
+      if (loss > -1e-9) ++row.unprofitable;
+      row.net_loss.add(loss);
+    }
+  }
+
+  dls::common::Table table({{"deviation", dls::common::Align::kLeft},
+                            {"runs"},
+                            {"detected & fined"},
+                            {"unprofitable"},
+                            {"mean net loss"},
+                            {"min net loss"}});
+  for (const Row& row : rows) {
+    table.add_row({row.behavior.name +
+                       (row.behavior.shed_fraction > 0
+                            ? " (" +
+                                  dls::common::format_double(
+                                      row.behavior.shed_fraction, 2) +
+                                  ")"
+                            : ""),
+                   row.runs, row.detected, row.unprofitable,
+                   dls::common::Cell(row.net_loss.mean(), 3),
+                   dls::common::Cell(row.net_loss.min(), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nfines charged to honest processors across all runs: "
+            << honest_fines << " ("
+            << (honest_fines == 0 ? "PASS" : "FAIL")
+            << " — Lemma 5.2 promises none)\n";
+  std::cout << "every deviation row must show detected = runs and "
+               "unprofitable = runs (Theorem 5.1).\n";
+  return 0;
+}

@@ -1,0 +1,190 @@
+// Experiment XNET — cross-network baselines (the authors' companion
+// mechanisms [9, 14]): linear chain vs bus vs star on the same processor
+// pool, comparing both the schedules and the mechanisms' budgets.
+//
+// Reproduction targets: star <= bus <= boundary chain in makespan on
+// identical hardware (dedicated links beat a shared channel, which beats
+// relaying); mechanism budget overhead (payments / raw compute cost) is
+// of the same order across topologies — truthfulness costs a bounded
+// premium everywhere.
+#include <iostream>
+
+#include "agents/agent.hpp"
+#include "analysis/sweep.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/dls_lbl.hpp"
+#include "core/dls_star.hpp"
+#include "dlt/linear.hpp"
+#include "dlt/star.hpp"
+#include "net/networks.hpp"
+#include "protocol/runner.hpp"
+#include "protocol/star_runner.hpp"
+
+int main() {
+  std::cout << "=== XNET: linear vs bus vs star ===\n\n";
+  const dls::core::MechanismConfig config;
+
+  // ---- Makespans across m, homogeneous hardware.
+  {
+    std::cout << "--- makespan, homogeneous workers (w = 1, channel = 0.2, "
+                 "root computes, w_root = 1) ---\n";
+    dls::common::Table table({{"workers m"},
+                              {"chain (boundary)"},
+                              {"bus"},
+                              {"star"},
+                              {"chain/star"}});
+    for (const std::size_t m : dls::analysis::int_ladder(1, 32)) {
+      std::vector<double> chain_w(m + 1, 1.0);
+      const dls::net::LinearNetwork chain(chain_w,
+                                          std::vector<double>(m, 0.2));
+      const dls::net::BusNetwork bus(1.0, std::vector<double>(m, 1.0), 0.2);
+      const dls::net::StarNetwork star(1.0, std::vector<double>(m, 1.0),
+                                       std::vector<double>(m, 0.2));
+      const double tc = dls::dlt::solve_linear_boundary(chain).makespan;
+      const double tb = dls::dlt::solve_bus(bus).makespan;
+      const double ts = dls::dlt::solve_star(star).makespan;
+      table.add_row({m, dls::common::Cell(tc, 4), dls::common::Cell(tb, 4),
+                     dls::common::Cell(ts, 4),
+                     dls::common::Cell(tc / ts, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\n(homogeneous bus and star coincide: identical links "
+                 "make the dedicated/shared distinction moot for a "
+                 "one-port root)\n\n";
+  }
+
+  // ---- Heterogeneous links separate bus from star.
+  {
+    std::cout << "--- heterogeneous hardware (random w; star gets the "
+                 "same links the chain would use) ---\n";
+    dls::common::Rng rng(20260705);
+    dls::common::Table table({{"instance"},
+                              {"chain"},
+                              {"bus (z = mean link)"},
+                              {"star"},
+                              {"star wins?", dls::common::Align::kLeft}});
+    for (int inst = 1; inst <= 8; ++inst) {
+      const std::size_t m = 10;
+      std::vector<double> w(m), z(m);
+      for (auto& x : w) x = rng.log_uniform(0.5, 5.0);
+      double zsum = 0.0;
+      for (auto& x : z) {
+        x = rng.log_uniform(0.05, 0.5);
+        zsum += x;
+      }
+      std::vector<double> chain_w = {1.0};
+      chain_w.insert(chain_w.end(), w.begin(), w.end());
+      const dls::net::LinearNetwork chain(chain_w, z);
+      const dls::net::BusNetwork bus(1.0, w, zsum / static_cast<double>(m));
+      const dls::net::StarNetwork star(1.0, w, z);
+      const double tc = dls::dlt::solve_linear_boundary(chain).makespan;
+      const double tb = dls::dlt::solve_bus(bus).makespan;
+      const double ts = dls::dlt::solve_star(star).makespan;
+      table.add_row({inst, dls::common::Cell(tc, 4),
+                     dls::common::Cell(tb, 4), dls::common::Cell(ts, 4),
+                     ts <= tc && ts <= tb ? "yes" : "no"});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // ---- Mechanism budgets: the price of truthfulness per topology.
+  {
+    std::cout << "--- mechanism budget overhead (payments / raw compute "
+                 "cost), truthful agents ---\n";
+    dls::common::Table table({{"workers m"},
+                              {"DLS-LBL (chain)"},
+                              {"DLS-star"},
+                              {"chain makespan"},
+                              {"star makespan"}});
+    for (const std::size_t m : dls::analysis::int_ladder(2, 32)) {
+      std::vector<double> chain_w(m + 1, 1.0);
+      const dls::net::LinearNetwork chain(chain_w,
+                                          std::vector<double>(m, 0.2));
+      std::vector<double> chain_actual(m + 1, 1.0);
+      const auto lbl =
+          dls::core::assess_compliant(chain, chain_actual, config);
+      // Raw compute cost of the unit load at w = 1 is exactly 1.
+      const double lbl_overhead = lbl.total_payment / 1.0;
+
+      const dls::net::StarNetwork star(1.0, std::vector<double>(m, 1.0),
+                                       std::vector<double>(m, 0.2));
+      std::vector<double> star_actual(m, 1.0);
+      const auto st = dls::core::assess_dls_star(star, star_actual, config);
+      const double star_overhead = st.total_payment / 1.0;
+
+      table.add_row({m, dls::common::Cell(lbl_overhead, 4),
+                     dls::common::Cell(star_overhead, 4),
+                     dls::common::Cell(lbl.solution.makespan, 4),
+                     dls::common::Cell(st.solution.makespan, 4)});
+    }
+    table.print(std::cout);
+    std::cout << "\nBoth mechanisms pay compensation + a truthfulness "
+                 "bonus; the budget stays a small\nmultiple of the raw "
+                 "compute cost as the pool grows.\n\n";
+  }
+
+  // ---- End-to-end protocol runs on both topologies: same workers, a
+  // deviant of each applicable class, both protocols catch them.
+  {
+    std::cout << "--- full protocol runs: chain vs star, m = 5 workers "
+                 "---\n";
+    const std::size_t m = 5;
+    const std::vector<double> worker_rates = {1.2, 0.8, 1.5, 1.0, 0.9};
+    const dls::net::LinearNetwork chain(
+        {1.0, 1.2, 0.8, 1.5, 1.0, 0.9},
+        std::vector<double>(m, 0.2));
+    const dls::net::StarNetwork star(1.0, worker_rates,
+                                     std::vector<double>(m, 0.2));
+    auto population = [&](std::size_t deviant,
+                          const dls::agents::Behavior& b) {
+      std::vector<dls::agents::StrategicAgent> agents;
+      for (std::size_t i = 1; i <= m; ++i) {
+        agents.push_back(dls::agents::StrategicAgent{
+            i, worker_rates[i - 1],
+            i == deviant ? b : dls::agents::Behavior::truthful()});
+      }
+      return dls::agents::Population(std::move(agents));
+    };
+    dls::protocol::ProtocolOptions options;
+    options.mechanism.audit_probability = 1.0;
+
+    dls::common::Table table(
+        {{"scenario", dls::common::Align::kLeft},
+         {"chain: caught?", dls::common::Align::kLeft},
+         {"chain U(deviant)"},
+         {"star: caught?", dls::common::Align::kLeft},
+         {"star U(deviant)"}});
+    const std::vector<dls::agents::Behavior> rogues = {
+        dls::agents::Behavior::truthful(),
+        dls::agents::Behavior::contradictor(),
+        dls::agents::Behavior::overcharger(0.3),
+        dls::agents::Behavior::slow_execution(1.5)};
+    for (const auto& b : rogues) {
+      const auto chain_report =
+          dls::protocol::run_protocol(chain, population(2, b), options);
+      const auto star_report =
+          dls::protocol::run_star_protocol(star, population(2, b), options);
+      auto caught = [&](const auto& incidents) {
+        for (const auto& inc : incidents) {
+          if ((inc.substantiated ? inc.accused : inc.reporter) == 2 &&
+              inc.fine > 0.0) {
+            return "yes";
+          }
+        }
+        return "—";
+      };
+      table.add_row({b.name, caught(chain_report.incidents),
+                     dls::common::Cell(chain_report.processors[2].utility, 3),
+                     caught(star_report.incidents),
+                     dls::common::Cell(star_report.workers[2].utility, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\nThe verification machinery generalises: both "
+                 "topologies' protocols catch the\nsame deviation classes "
+                 "and keep truthful utilities non-negative.\n";
+  }
+  return 0;
+}

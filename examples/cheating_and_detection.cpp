@@ -1,0 +1,91 @@
+// Runs the full four-phase DLS-LBL protocol against one deviant of each
+// class from Lemma 5.1 and prints the forensic report: what was detected,
+// who was fined, and how the deviant's utility compares with honesty.
+#include <iomanip>
+#include <iostream>
+
+#include "agents/agent.hpp"
+#include "common/table.hpp"
+#include "net/networks.hpp"
+#include "protocol/runner.hpp"
+
+namespace {
+
+using dls::agents::Behavior;
+using dls::agents::Population;
+using dls::agents::StrategicAgent;
+
+dls::net::LinearNetwork make_network() {
+  return dls::net::LinearNetwork({1.0, 1.2, 0.8, 1.5}, {0.2, 0.15, 0.25});
+}
+
+Population make_population(std::size_t deviant, const Behavior& behavior) {
+  std::vector<StrategicAgent> agents;
+  const dls::net::LinearNetwork net = make_network();
+  for (std::size_t i = 1; i < net.size(); ++i) {
+    agents.push_back(StrategicAgent{
+        i, net.w(i), i == deviant ? behavior : Behavior::truthful()});
+  }
+  return Population(std::move(agents));
+}
+
+}  // namespace
+
+int main() {
+  using dls::common::Align;
+  using dls::common::Cell;
+  using dls::common::Table;
+
+  const dls::net::LinearNetwork network = make_network();
+  dls::protocol::ProtocolOptions options;
+  options.mechanism.audit_probability = 1.0;  // audits always fire here
+
+  const dls::protocol::RunReport honest = dls::protocol::run_protocol(
+      network, make_population(0, Behavior::truthful()), options);
+  std::cout << "Honest baseline utilities: ";
+  for (std::size_t i = 1; i < honest.processors.size(); ++i) {
+    std::cout << "U" << i << "=" << std::setprecision(4)
+              << honest.processors[i].utility << "  ";
+  }
+  std::cout << "\n\n";
+
+  const std::size_t deviant = 2;
+  const std::vector<Behavior> rogues = {
+      Behavior::contradictor(),      Behavior::miscomputer(),
+      Behavior::load_shedder(0.5),   Behavior::overcharger(0.25),
+      Behavior::false_accuser(),     Behavior::slow_execution(1.5),
+      Behavior::underbid(0.6),       Behavior::overbid(1.8)};
+
+  Table table({{"deviation", Align::kLeft},
+               {"detected as", Align::kLeft},
+               {"aborted", Align::kLeft},
+               {"fine", Align::kRight},
+               {"U(deviant)", Align::kRight},
+               {"U(honest)", Align::kRight}});
+
+  for (const Behavior& behavior : rogues) {
+    const dls::protocol::RunReport report = dls::protocol::run_protocol(
+        network, make_population(deviant, behavior), options);
+    std::string detected = "—";
+    double fine = 0.0;
+    for (const auto& inc : report.incidents) {
+      const std::size_t loser =
+          inc.substantiated ? inc.accused : inc.reporter;
+      if (loser == deviant) {
+        detected = to_string(inc.kind);
+        fine = inc.fine;
+      }
+    }
+    table.add_row({behavior.name, detected,
+                   report.aborted ? "yes" : "no", Cell(fine, 2),
+                   Cell(report.processors[deviant].utility, 4),
+                   Cell(honest.processors[deviant].utility, 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nEvery deviation leaves the deviant at or below the "
+               "honest utility;\nthe finable ones (Lemma 5.1) are "
+               "strictly ruinous. Bids off the truth lose\nonly the bonus "
+               "— exactly the strategyproofness margin.\n";
+  return 0;
+}

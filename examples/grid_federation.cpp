@@ -1,0 +1,94 @@
+// A season of a federated compute market: five autonomous organisations
+// chained behind a broker (the root) process one divisible job per round
+// under DLS-LBL. Org C is opportunistic — every few rounds it tries a
+// different trick (misreporting, running slow, shedding, overcharging).
+// The season ledger shows what the paper's incentives do over time:
+// honest organisations compound steady profits, the trickster's wealth
+// craters on every finable attempt and lags even on the "legal" ones.
+#include <iomanip>
+#include <iostream>
+
+#include "agents/agent.hpp"
+#include "common/table.hpp"
+#include "net/networks.hpp"
+#include "protocol/runner.hpp"
+
+namespace {
+
+using dls::agents::Behavior;
+using dls::agents::Population;
+using dls::agents::StrategicAgent;
+
+const char* kOrgNames[] = {"Broker", "OrgA", "OrgB", "OrgC", "OrgD", "OrgE"};
+
+}  // namespace
+
+int main() {
+  const dls::net::LinearNetwork network({1.0, 1.1, 0.7, 0.9, 1.4, 0.8},
+                                        {0.12, 0.08, 0.15, 0.2, 0.1});
+  const std::size_t trickster = 3;  // OrgC
+
+  // The trickster's playbook, one entry per season round (empty =
+  // behave).
+  const std::vector<Behavior> playbook = {
+      Behavior::truthful(),          Behavior::underbid(0.6),
+      Behavior::truthful(),          Behavior::slow_execution(1.5),
+      Behavior::overcharger(0.3),    Behavior::truthful(),
+      Behavior::load_shedder(0.35),  Behavior::truthful(),
+      Behavior::overbid(1.8),        Behavior::truthful(),
+  };
+
+  std::vector<double> wealth(network.size(), 0.0);
+  dls::common::Table table({{"round"},
+                            {"OrgC plays", dls::common::Align::kLeft},
+                            {"incident", dls::common::Align::kLeft},
+                            {"OrgC round U"},
+                            {"honest mean U"}});
+
+  for (std::size_t round = 0; round < playbook.size(); ++round) {
+    std::vector<StrategicAgent> agents;
+    for (std::size_t i = 1; i < network.size(); ++i) {
+      agents.push_back(StrategicAgent{
+          i, network.w(i),
+          i == trickster ? playbook[round] : Behavior::truthful()});
+    }
+    dls::protocol::ProtocolOptions options;
+    options.round = round + 1;
+    options.seed = 1000 + round;
+    options.mechanism.audit_probability = 0.5;
+    const auto report = dls::protocol::run_protocol(
+        network, Population(std::move(agents)), options);
+
+    double honest_sum = 0.0;
+    std::size_t honest_count = 0;
+    for (std::size_t i = 1; i < network.size(); ++i) {
+      wealth[i] += report.processors[i].utility;
+      if (i != trickster) {
+        honest_sum += report.processors[i].utility;
+        ++honest_count;
+      }
+    }
+    std::string incident = "—";
+    for (const auto& inc : report.incidents) {
+      incident = to_string(inc.kind) +
+                 (inc.substantiated ? " (fined)" : " (dismissed)");
+    }
+    table.add_row({round + 1, playbook[round].name, incident,
+                   dls::common::Cell(report.processors[trickster].utility, 3),
+                   dls::common::Cell(
+                       honest_sum / static_cast<double>(honest_count), 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nSeason wealth:\n";
+  dls::common::Table season({{"organisation", dls::common::Align::kLeft},
+                             {"cumulative utility"}});
+  for (std::size_t i = 1; i < network.size(); ++i) {
+    season.add_row({kOrgNames[i], dls::common::Cell(wealth[i], 3)});
+  }
+  season.print(std::cout);
+  std::cout << "\nOrgC's tricks either get fined outright or quietly "
+               "under-earn the truthful rounds —\nafter a season the "
+               "dominant strategy is obvious on the balance sheet.\n";
+  return 0;
+}

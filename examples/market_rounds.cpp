@@ -1,0 +1,83 @@
+// A repeated "market": four grid operators sell compute on a chain, one
+// of them (P2) experiments with its bid multiplier between rounds using
+// best-response learning. Under DLS-LBL the experiments all lose money
+// relative to the truth, so the learner converges to — and stays at —
+// truthful bidding.
+#include <iomanip>
+#include <iostream>
+
+#include "agents/agent.hpp"
+#include "common/table.hpp"
+#include "net/networks.hpp"
+#include "protocol/runner.hpp"
+
+namespace {
+
+using dls::agents::Behavior;
+using dls::agents::Population;
+using dls::agents::StrategicAgent;
+
+Behavior bid_multiplier(double factor) {
+  if (factor < 1.0) return Behavior::underbid(factor);
+  if (factor > 1.0) return Behavior::overbid(factor);
+  return Behavior::truthful();
+}
+
+}  // namespace
+
+int main() {
+  using dls::common::Align;
+  using dls::common::Cell;
+  using dls::common::Table;
+
+  const dls::net::LinearNetwork network({1.0, 1.3, 0.9, 1.1},
+                                        {0.2, 0.1, 0.3});
+  const std::size_t learner = 2;
+  const std::vector<double> candidates = {0.5, 0.7, 0.85, 1.0,
+                                          1.15, 1.4, 2.0};
+
+  double current = 0.5;  // round 0: lie aggressively to grab load
+  Table table({{"round", Align::kRight},
+               {"multiplier tried", Align::kLeft},
+               {"best multiplier", Align::kRight},
+               {"best utility", Align::kRight}});
+
+  for (int round = 1; round <= 6; ++round) {
+    double best_u = -1e300;
+    double best_mult = current;
+    std::string tried;
+    for (const double candidate : candidates) {
+      std::vector<StrategicAgent> agents;
+      for (std::size_t i = 1; i < network.size(); ++i) {
+        agents.push_back(StrategicAgent{
+            i, network.w(i),
+            i == learner ? bid_multiplier(candidate) : Behavior::truthful()});
+      }
+      dls::protocol::ProtocolOptions options;
+      options.round = static_cast<std::uint64_t>(round);
+      options.seed = static_cast<std::uint64_t>(round) * 977;
+      const auto report = dls::protocol::run_protocol(
+          network, Population(std::move(agents)), options);
+      const double u = report.processors[learner].utility;
+      if (!tried.empty()) tried += " ";
+      {
+        std::ostringstream os;
+        os << candidate << ":" << std::fixed << std::setprecision(3) << u;
+        tried += os.str();
+      }
+      if (u > best_u) {
+        best_u = u;
+        best_mult = candidate;
+      }
+    }
+    current = best_mult;
+    table.add_row(
+        {round, tried, Cell(best_mult, 2), Cell(best_u, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe learner settles on multiplier "
+            << std::setprecision(3) << current
+            << " — truthful bidding is the stable best response "
+               "(Theorem 5.3).\n";
+  return 0;
+}

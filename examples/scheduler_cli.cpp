@@ -1,0 +1,158 @@
+// A small command-line scheduler: feed it a network description, get the
+// optimal divisible-load schedule, the Gantt chart and the DLS-LBL
+// payments.
+//
+// Usage:
+//   scheduler_cli --w 1.0,0.8,1.2,0.6 --z 0.1,0.15,0.2 [options]
+//
+//   --w LIST        comma-separated unit processing times, P0 first
+//   --z LIST        comma-separated unit link times (one fewer than --w)
+//   --startup LIST  per-processor compute startups (affine model)
+//   --gantt         render the execution Gantt chart
+//   --csv           emit the schedule as CSV instead of a table
+//   --no-payments   skip the mechanism payment report
+//
+// Exit status: 0 on success, 2 on bad usage, 1 on infeasible input.
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "core/dls_lbl.hpp"
+#include "dlt/affine.hpp"
+#include "dlt/linear.hpp"
+#include "net/networks.hpp"
+#include "sim/gantt.hpp"
+#include "sim/linear_execution.hpp"
+
+namespace {
+
+std::vector<double> parse_list(const std::string& text) {
+  std::vector<double> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(std::stod(item));
+  }
+  return out;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --w W0,W1,... --z Z1,Z2,... [--startup S0,S1,...]"
+               " [--gantt] [--csv] [--no-payments]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<double> w, z, startup;
+  bool want_gantt = false, want_csv = false, want_payments = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    try {
+      if (arg == "--w") {
+        const char* v = next();
+        if (!v) return usage(argv[0]);
+        w = parse_list(v);
+      } else if (arg == "--z") {
+        const char* v = next();
+        if (!v) return usage(argv[0]);
+        z = parse_list(v);
+      } else if (arg == "--startup") {
+        const char* v = next();
+        if (!v) return usage(argv[0]);
+        startup = parse_list(v);
+      } else if (arg == "--gantt") {
+        want_gantt = true;
+      } else if (arg == "--csv") {
+        want_csv = true;
+      } else if (arg == "--no-payments") {
+        want_payments = false;
+      } else {
+        std::cerr << "unknown option: " << arg << '\n';
+        return usage(argv[0]);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "bad value for " << arg << ": " << e.what() << '\n';
+      return 2;
+    }
+  }
+  if (w.empty() || z.size() + 1 != w.size()) {
+    std::cerr << "need --w with n entries and --z with n-1 entries\n";
+    return usage(argv[0]);
+  }
+
+  try {
+    const dls::net::LinearNetwork network(w, z);
+    std::vector<double> alpha;
+    double makespan = 0.0;
+    if (!startup.empty()) {
+      const auto sol =
+          dls::dlt::solve_linear_boundary_affine(network, startup);
+      alpha = sol.alpha;
+      makespan = sol.makespan;
+    } else {
+      const auto sol = dls::dlt::solve_linear_boundary(network);
+      alpha = sol.alpha;
+      makespan = sol.makespan;
+    }
+
+    const std::vector<double> finish =
+        startup.empty()
+            ? dls::dlt::finish_times(network, alpha)
+            : dls::dlt::affine_finish_times(network, startup, alpha);
+
+    dls::common::Table table({{"processor", dls::common::Align::kLeft},
+                              {"alpha"},
+                              {"finish"}});
+    for (std::size_t i = 0; i < network.size(); ++i) {
+      table.add_row({"P" + std::to_string(i),
+                     dls::common::Cell(alpha[i], 6),
+                     dls::common::Cell(finish[i], 6)});
+    }
+    if (want_csv) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+      std::cout << "makespan: " << makespan << '\n';
+    }
+
+    if (want_gantt && startup.empty()) {
+      const auto solution = dls::dlt::solve_linear_boundary(network);
+      const auto result = dls::sim::execute_linear(
+          network, dls::sim::ExecutionPlan::compliant(network, solution));
+      std::cout << '\n';
+      render_gantt(std::cout, result.trace, {.width = 80});
+    } else if (want_gantt) {
+      std::cout << "(--gantt is only available for the linear cost model)\n";
+    }
+
+    if (want_payments && network.size() >= 2 && startup.empty()) {
+      const auto result = dls::core::assess_compliant(
+          network, w, dls::core::MechanismConfig{});
+      std::cout << "\nDLS-LBL payments (all-truthful):\n";
+      dls::common::Table pay({{"processor", dls::common::Align::kLeft},
+                              {"payment Q"},
+                              {"utility U"}});
+      for (const auto& a : result.processors) {
+        pay.add_row({"P" + std::to_string(a.index),
+                     dls::common::Cell(a.money.payment, 6),
+                     dls::common::Cell(a.money.utility, 6)});
+      }
+      if (want_csv) pay.print_csv(std::cout);
+      else pay.print(std::cout);
+    }
+  } catch (const dls::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "agents/agent.hpp"
+
+#include "common/error.hpp"
+
+namespace dls::agents {
+
+Population::Population(std::vector<StrategicAgent> agents)
+    : agents_(std::move(agents)) {
+  DLS_REQUIRE(!agents_.empty(), "population must not be empty");
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    DLS_REQUIRE(agents_[i].index == i + 1,
+                "agents must be indexed 1..m contiguously");
+    DLS_REQUIRE(agents_[i].true_rate > 0.0, "true rates must be positive");
+  }
+}
+
+const StrategicAgent& Population::agent(AgentIndex index) const {
+  DLS_REQUIRE(index >= 1 && index <= agents_.size(),
+              "agent index out of range");
+  return agents_[index - 1];
+}
+
+StrategicAgent& Population::agent(AgentIndex index) {
+  DLS_REQUIRE(index >= 1 && index <= agents_.size(),
+              "agent index out of range");
+  return agents_[index - 1];
+}
+
+std::vector<double> Population::bids() const {
+  std::vector<double> out;
+  out.reserve(agents_.size());
+  for (const auto& a : agents_) out.push_back(a.bid());
+  return out;
+}
+
+std::vector<double> Population::actual_rates() const {
+  std::vector<double> out;
+  out.reserve(agents_.size());
+  for (const auto& a : agents_) out.push_back(a.actual_rate());
+  return out;
+}
+
+Population Population::random_truthful(std::size_t m, common::Rng& rng,
+                                       double lo, double hi) {
+  DLS_REQUIRE(m >= 1, "population must not be empty");
+  std::vector<StrategicAgent> agents;
+  agents.reserve(m);
+  for (std::size_t i = 1; i <= m; ++i) {
+    agents.push_back(StrategicAgent{i, rng.log_uniform(lo, hi),
+                                    Behavior::truthful()});
+  }
+  return Population(std::move(agents));
+}
+
+}  // namespace dls::agents

@@ -1,0 +1,86 @@
+#include "agents/behavior.hpp"
+
+#include "common/error.hpp"
+
+namespace dls::agents {
+
+Behavior Behavior::truthful() { return Behavior{}; }
+
+Behavior Behavior::overbid(double factor) {
+  DLS_REQUIRE(factor >= 1.0, "overbid factor must be >= 1");
+  Behavior b;
+  b.name = "overbid";
+  b.bid_multiplier = factor;
+  return b;
+}
+
+Behavior Behavior::underbid(double factor) {
+  DLS_REQUIRE(factor > 0.0 && factor <= 1.0,
+              "underbid factor must be in (0, 1]");
+  Behavior b;
+  b.name = "underbid";
+  b.bid_multiplier = factor;
+  return b;
+}
+
+Behavior Behavior::slow_execution(double factor) {
+  DLS_REQUIRE(factor >= 1.0, "slowdown factor must be >= 1");
+  Behavior b;
+  b.name = "slow-execution";
+  b.slowdown = factor;
+  return b;
+}
+
+Behavior Behavior::load_shedder(double shed_fraction) {
+  DLS_REQUIRE(shed_fraction > 0.0 && shed_fraction <= 1.0,
+              "shed fraction must be in (0, 1]");
+  Behavior b;
+  b.name = "load-shedder";
+  b.shed_fraction = shed_fraction;
+  return b;
+}
+
+Behavior Behavior::contradictor() {
+  Behavior b;
+  b.name = "contradictor";
+  b.contradictory_messages = true;
+  return b;
+}
+
+Behavior Behavior::miscomputer() {
+  Behavior b;
+  b.name = "miscomputer";
+  b.miscompute_allocation = true;
+  return b;
+}
+
+Behavior Behavior::overcharger(double amount) {
+  DLS_REQUIRE(amount > 0.0, "overcharge amount must be positive");
+  Behavior b;
+  b.name = "overcharger";
+  b.overcharge = amount;
+  return b;
+}
+
+Behavior Behavior::false_accuser() {
+  Behavior b;
+  b.name = "false-accuser";
+  b.false_accusation = true;
+  return b;
+}
+
+Behavior Behavior::colluding_victim() {
+  Behavior b;
+  b.name = "colluding-victim";
+  b.suppress_grievance = true;
+  return b;
+}
+
+Behavior Behavior::data_corruptor() {
+  Behavior b;
+  b.name = "data-corruptor";
+  b.corrupt_data = true;
+  return b;
+}
+
+}  // namespace dls::agents

@@ -1,0 +1,91 @@
+// Strategic behaviour models.
+//
+// The paper's agents are one-parameter: private true unit time t_i. In
+// the autonomous-node model they control *both* their inputs (the bid
+// w_i) and their execution of the algorithm. Behavior captures every
+// deviation class enumerated in Lemma 5.1:
+//   (i)   contradictory messages in Phase I/II,
+//   (ii)  miscomputing w̄_i / D_{i+1},
+//   (iii) shedding load in Phase III (α̃_i < α_i),
+//   (iv)  overcharging in Phase IV,
+//   (v)   false accusations,
+// plus the bid/rate manipulations of Lemma 5.3 (misreporting w_i,
+// computing slower than capacity) and the "selfish-and-annoying" data
+// corruption of Theorem 5.2.
+#pragma once
+
+#include <string>
+
+namespace dls::agents {
+
+struct Behavior {
+  std::string name = "truthful";
+
+  /// Bid manipulation: w_i = t_i * bid_multiplier (1.0 = truthful).
+  double bid_multiplier = 1.0;
+
+  /// Execution speed: w̃_i = max(t_i, t_i * slowdown). Values < 1 are
+  /// clamped — nobody can run faster than capacity (w̃_i >= t_i).
+  double slowdown = 1.0;
+
+  /// Phase III load shedding: retains α̂_i * (1 - shed_fraction) of the
+  /// received load instead of α̂_i, dumping the rest on the successor.
+  double shed_fraction = 0.0;
+
+  /// Phase I/II: send different signed values to different parties.
+  bool contradictory_messages = false;
+
+  /// Phase II: forward a miscomputed D_{i+1} to the successor.
+  bool miscompute_allocation = false;
+
+  /// Phase IV: inflate the submitted bill by this amount (> 0 cheats).
+  double overcharge = 0.0;
+
+  /// Phase I-III: accuse the predecessor without evidence.
+  bool false_accusation = false;
+
+  /// Selfish-and-annoying: corrupt the data it forwards (destroys the
+  /// solution without direct profit).
+  bool corrupt_data = false;
+
+  /// Collusion probe: stay silent about a predecessor's deviation
+  /// instead of filing the grievance. Used to demonstrate that DLS-LBL
+  /// is strategyproof against *unilateral* deviations only — a shedding
+  /// predecessor plus a silent successor beats the mechanism (a known
+  /// limitation; the paper claims no collusion resistance).
+  bool suppress_grievance = false;
+
+  /// True when every field is at its compliant default (the bid may still
+  /// be untruthful — bidding is an input, not an algorithm deviation).
+  bool follows_algorithm() const noexcept {
+    return slowdown <= 1.0 && shed_fraction == 0.0 &&
+           !contradictory_messages && !miscompute_allocation &&
+           overcharge == 0.0 && !false_accusation && !corrupt_data &&
+           !suppress_grievance;
+  }
+
+  bool is_truthful_bid() const noexcept { return bid_multiplier == 1.0; }
+
+  /// The bid this behaviour produces for a true rate `t`.
+  double bid(double t) const noexcept { return t * bid_multiplier; }
+
+  /// The actual execution rate for a true rate `t`.
+  double actual_rate(double t) const noexcept {
+    return slowdown > 1.0 ? t * slowdown : t;
+  }
+
+  // Named constructors for the experiment code.
+  static Behavior truthful();
+  static Behavior overbid(double factor);
+  static Behavior underbid(double factor);
+  static Behavior slow_execution(double factor);
+  static Behavior load_shedder(double shed_fraction);
+  static Behavior contradictor();
+  static Behavior miscomputer();
+  static Behavior overcharger(double amount);
+  static Behavior false_accuser();
+  static Behavior data_corruptor();
+  static Behavior colluding_victim();
+};
+
+}  // namespace dls::agents

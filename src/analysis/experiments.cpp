@@ -1,0 +1,99 @@
+#include "analysis/experiments.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "dlt/baselines.hpp"
+#include "dlt/linear.hpp"
+
+namespace dls::analysis {
+
+UtilityCurve utility_vs_bid(const net::LinearNetwork& true_network,
+                            std::size_t index,
+                            const std::vector<double>& bid_grid,
+                            const core::MechanismConfig& config) {
+  DLS_REQUIRE(!bid_grid.empty(), "bid grid must not be empty");
+  UtilityCurve curve;
+  curve.true_rate = true_network.w(index);
+  curve.bids = bid_grid;
+  curve.utilities.reserve(bid_grid.size());
+  for (const double bid : bid_grid) {
+    // Case (i) of Lemma 5.3: execution at full capacity regardless of bid.
+    curve.utilities.push_back(core::utility_under_bid(
+        true_network, index, bid, curve.true_rate, config));
+  }
+  curve.utility_at_truth = core::utility_under_bid(
+      true_network, index, curve.true_rate, curve.true_rate, config);
+  return curve;
+}
+
+UtilityCurve utility_vs_speed(const net::LinearNetwork& true_network,
+                              std::size_t index,
+                              const std::vector<double>& rate_multipliers,
+                              const core::MechanismConfig& config) {
+  DLS_REQUIRE(!rate_multipliers.empty(), "multiplier grid must not be empty");
+  UtilityCurve curve;
+  curve.true_rate = true_network.w(index);
+  curve.bids.reserve(rate_multipliers.size());
+  curve.utilities.reserve(rate_multipliers.size());
+  for (const double mult : rate_multipliers) {
+    DLS_REQUIRE(mult >= 1.0, "cannot execute faster than capacity");
+    const double actual = curve.true_rate * mult;
+    curve.bids.push_back(actual);
+    // Case (ii): truthful bid, deviant execution speed.
+    curve.utilities.push_back(core::utility_under_bid(
+        true_network, index, curve.true_rate, actual, config));
+  }
+  curve.utility_at_truth = core::utility_under_bid(
+      true_network, index, curve.true_rate, curve.true_rate, config);
+  return curve;
+}
+
+double max_truth_advantage_gap(const UtilityCurve& curve) {
+  double best = -std::numeric_limits<double>::infinity();
+  for (const double u : curve.utilities) best = std::max(best, u);
+  return best - curve.utility_at_truth;
+}
+
+ParticipationSample truthful_participation(
+    const net::LinearNetwork& true_network,
+    const core::MechanismConfig& config) {
+  std::vector<double> actual(true_network.processing_times().begin(),
+                             true_network.processing_times().end());
+  const core::DlsLblResult result =
+      core::assess_compliant(true_network, actual, config);
+  ParticipationSample sample;
+  sample.total_payment = result.total_payment;
+  sample.makespan = result.solution.makespan;
+  bool first = true;
+  double sum = 0.0;
+  for (std::size_t j = 1; j < result.processors.size(); ++j) {
+    const double u = result.processors[j].money.utility;
+    sum += u;
+    if (first) {
+      sample.min_utility = sample.max_utility = u;
+      first = false;
+    } else {
+      sample.min_utility = std::min(sample.min_utility, u);
+      sample.max_utility = std::max(sample.max_utility, u);
+    }
+  }
+  sample.mean_utility =
+      sum / static_cast<double>(result.processors.size() - 1);
+  return sample;
+}
+
+BaselineComparison compare_baselines(const net::LinearNetwork& network) {
+  BaselineComparison cmp;
+  cmp.optimal = dlt::solve_linear_boundary(network).makespan;
+  cmp.equal_split =
+      dlt::makespan(network, dlt::baseline_equal(network.size()));
+  cmp.speed_proportional =
+      dlt::makespan(network, dlt::baseline_speed_proportional(network));
+  cmp.root_only =
+      dlt::makespan(network, dlt::baseline_root_only(network.size()));
+  return cmp;
+}
+
+}  // namespace dls::analysis

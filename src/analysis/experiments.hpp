@@ -1,0 +1,72 @@
+// Shared experiment drivers: the computations behind the bench binaries
+// and several property tests, factored here so tests and benches report
+// the same numbers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dls_lbl.hpp"
+#include "common/rng.hpp"
+#include "net/networks.hpp"
+
+namespace dls::analysis {
+
+/// Defaults used to draw random instances throughout the experiments:
+/// processing times log-uniform on [kWLo, kWHi], link times on
+/// [kZLo, kZHi] (times per unit load).
+inline constexpr double kWLo = 0.5;
+inline constexpr double kWHi = 5.0;
+inline constexpr double kZLo = 0.05;
+inline constexpr double kZHi = 0.5;
+
+/// Utility of processor `index` as a function of its bid, everyone else
+/// truthful and compliant (experiment THM5.3a).
+struct UtilityCurve {
+  std::vector<double> bids;
+  std::vector<double> utilities;
+  double true_rate = 0.0;
+  double utility_at_truth = 0.0;
+};
+
+UtilityCurve utility_vs_bid(const net::LinearNetwork& true_network,
+                            std::size_t index,
+                            const std::vector<double>& bid_grid,
+                            const core::MechanismConfig& config);
+
+/// Utility of `index` bidding truthfully but executing at
+/// `rate_multiplier * t_i` >= t_i (experiment THM5.3b).
+UtilityCurve utility_vs_speed(const net::LinearNetwork& true_network,
+                              std::size_t index,
+                              const std::vector<double>& rate_multipliers,
+                              const core::MechanismConfig& config);
+
+/// Largest advantage over truth-telling (max over grid of
+/// U(bid) − U(truth)); <= 0 certifies strategyproofness on the grid.
+double max_truth_advantage_gap(const UtilityCurve& curve);
+
+/// Summary of a whole-population truthful run (experiment THM5.4).
+struct ParticipationSample {
+  double min_utility = 0.0;
+  double mean_utility = 0.0;
+  double max_utility = 0.0;
+  double total_payment = 0.0;
+  double makespan = 0.0;
+};
+
+ParticipationSample truthful_participation(
+    const net::LinearNetwork& true_network,
+    const core::MechanismConfig& config);
+
+/// Makespans of the optimal allocation against the baselines on one
+/// instance (experiment THM2.1).
+struct BaselineComparison {
+  double optimal = 0.0;
+  double equal_split = 0.0;
+  double speed_proportional = 0.0;
+  double root_only = 0.0;
+};
+
+BaselineComparison compare_baselines(const net::LinearNetwork& network);
+
+}  // namespace dls::analysis

@@ -1,0 +1,84 @@
+#include "analysis/learning.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace dls::analysis {
+
+namespace {
+
+/// Utility of agent `i` when the population bids t_j * mult_j, everyone
+/// executing compliantly at capacity.
+double utility_of(const net::LinearNetwork& truth,
+                  const std::vector<double>& multipliers, std::size_t i,
+                  const core::MechanismConfig& mechanism) {
+  const std::size_t n = truth.size();
+  std::vector<double> w(n), actual(n);
+  w[0] = actual[0] = truth.w(0);
+  for (std::size_t j = 1; j < n; ++j) {
+    w[j] = truth.w(j) * multipliers[j - 1];
+    actual[j] = truth.w(j);
+  }
+  const net::LinearNetwork bids(
+      std::move(w), {truth.link_times().begin(), truth.link_times().end()});
+  const core::DlsLblResult result =
+      core::assess_compliant(bids, actual, mechanism);
+  return result.processors[i].money.utility;
+}
+
+}  // namespace
+
+LearningTrace run_best_response_dynamics(const net::LinearNetwork& truth,
+                                         const LearningConfig& config) {
+  DLS_REQUIRE(std::find(config.candidates.begin(), config.candidates.end(),
+                        1.0) != config.candidates.end(),
+              "candidate set must contain the truthful multiplier 1.0");
+  for (const double c : config.candidates) {
+    DLS_REQUIRE(c > 0.0, "multipliers must be positive");
+  }
+  const std::size_t m = truth.workers();
+  DLS_REQUIRE(m >= 1, "need at least one strategic agent");
+
+  common::Rng rng(config.seed);
+  std::vector<double> mult(m);
+  for (auto& x : mult) {
+    x = config.candidates[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(config.candidates.size()) - 1))];
+  }
+
+  LearningTrace trace;
+  for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    trace.multipliers.push_back(mult);
+    std::vector<double> epoch_utilities(m, 0.0);
+    // Round-robin revisions: each agent best-responds to the CURRENT
+    // profile (including earlier revisions this epoch).
+    for (std::size_t i = 0; i < m; ++i) {
+      double best_u = -1e300;
+      double best_c = mult[i];
+      for (const double c : config.candidates) {
+        std::vector<double> probe = mult;
+        probe[i] = c;
+        const double u = utility_of(truth, probe, i + 1, config.mechanism);
+        if (u > best_u + 1e-12) {
+          best_u = u;
+          best_c = c;
+        }
+      }
+      mult[i] = best_c;
+      epoch_utilities[i] = best_u;
+    }
+    trace.utilities.push_back(std::move(epoch_utilities));
+    ++trace.epochs_run;
+    if (std::all_of(mult.begin(), mult.end(),
+                    [](double x) { return x == 1.0; })) {
+      trace.converged_to_truth = true;
+      trace.epochs_to_truth = epoch + 1;
+      break;
+    }
+  }
+  return trace;
+}
+
+}  // namespace dls::analysis

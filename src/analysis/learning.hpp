@@ -1,0 +1,44 @@
+// Best-response dynamics over repeated DLS-LBL rounds: every strategic
+// processor repeatedly revises its bid multiplier to the best performer
+// against the others' current bids. Strategyproofness (Theorem 5.3) is a
+// *dominant-strategy* property, so the dynamics must collapse to
+// all-truthful from any starting point — and in one revision per agent,
+// since the best response never depends on the others.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dls_lbl.hpp"
+#include "net/networks.hpp"
+
+namespace dls::analysis {
+
+struct LearningConfig {
+  /// Bid multipliers each agent may try; must contain 1.0.
+  std::vector<double> candidates = {0.4, 0.6, 0.8, 0.9, 1.0,
+                                    1.1, 1.3, 1.7, 2.5};
+  std::size_t max_epochs = 12;
+  std::uint64_t seed = 1;  ///< randomises the starting multipliers
+  core::MechanismConfig mechanism;
+};
+
+struct LearningTrace {
+  /// multipliers[e][i] — agent (i+1)'s multiplier entering epoch e.
+  std::vector<std::vector<double>> multipliers;
+  /// utilities[e][i] — the utility agent (i+1) earned in epoch e.
+  std::vector<std::vector<double>> utilities;
+  bool converged_to_truth = false;
+  std::size_t epochs_run = 0;
+  /// First epoch after which every multiplier equals 1 (valid only when
+  /// converged_to_truth).
+  std::size_t epochs_to_truth = 0;
+};
+
+/// Runs the dynamics on `truth` (w(0) = the obedient root). Agents
+/// start at random candidate multipliers and revise round-robin within
+/// each epoch; the run stops early once everyone sits at 1.0.
+LearningTrace run_best_response_dynamics(const net::LinearNetwork& truth,
+                                         const LearningConfig& config);
+
+}  // namespace dls::analysis

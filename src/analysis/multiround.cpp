@@ -1,0 +1,112 @@
+#include "analysis/multiround.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/optimize.hpp"
+#include "dlt/star.hpp"
+
+namespace dls::analysis {
+
+namespace {
+
+/// Builds the R-round schedule for given root share and ratio θ: within
+/// each round workers get chunks proportional to the single-round
+/// optimal proportions, rounds scale as θ^r, everything normalised to
+/// cover 1 − root_share.
+sim::StarSchedule build_schedule(const dlt::StarSolution& base,
+                                 std::size_t rounds, double root_share,
+                                 double theta) {
+  sim::StarSchedule schedule;
+  schedule.root_share = root_share;
+  double worker_total = 0.0;
+  for (const double a : base.alpha) worker_total += a;
+  if (worker_total <= 0.0) return schedule;
+
+  double geo_total = 0.0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    geo_total += std::pow(theta, static_cast<double>(r));
+  }
+  const double budget = 1.0 - root_share;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const double round_budget =
+        budget * std::pow(theta, static_cast<double>(r)) / geo_total;
+    for (const std::size_t idx : base.order) {
+      const double proportion = base.alpha[idx] / worker_total;
+      const double chunk = round_budget * proportion;
+      if (chunk > 0.0) {
+        schedule.sends.push_back(sim::Installment{idx, chunk});
+      }
+    }
+  }
+  // Absorb any rounding residue into the final chunk.
+  const double residue = 1.0 - schedule.total();
+  if (!schedule.sends.empty()) {
+    schedule.sends.back().chunk += residue;
+  } else {
+    schedule.root_share += residue;
+  }
+  return schedule;
+}
+
+}  // namespace
+
+MultiRoundSolution solve_multiround_star(const net::StarNetwork& network,
+                                         std::size_t rounds) {
+  DLS_REQUIRE(rounds >= 1, "need at least one round");
+  const dlt::StarSolution base = dlt::solve_star(network);
+
+  auto evaluate = [&](double root_share, double theta) {
+    const sim::StarSchedule schedule =
+        build_schedule(base, rounds, root_share, theta);
+    return sim::execute_star(network, schedule).makespan;
+  };
+
+  const double theta_lo = 0.25, theta_hi = 4.0;
+  double best_root = 0.0;
+  double best_theta = 1.0;
+  if (network.root_computes()) {
+    // Nested search: outer over the root share, inner over θ.
+    const auto outer = dls::common::golden_minimize(
+        [&](double root_share) {
+          return dls::common::golden_minimize(
+                     [&](double theta) {
+                       return evaluate(root_share, theta);
+                     },
+                     theta_lo, theta_hi, 40)
+              .value;
+        },
+        0.0, 0.9, 40);
+    best_root = outer.x;
+    best_theta = dls::common::golden_minimize(
+                     [&](double theta) { return evaluate(best_root, theta); },
+                     theta_lo, theta_hi, 60)
+                     .x;
+  } else {
+    best_theta = dls::common::golden_minimize(
+                     [&](double theta) { return evaluate(0.0, theta); },
+                     theta_lo, theta_hi, 60)
+                     .x;
+  }
+
+  MultiRoundSolution sol;
+  sol.rounds = rounds;
+  sol.theta = best_theta;
+  sol.schedule =
+      build_schedule(base, rounds, best_root, best_theta);
+  sol.makespan = sim::execute_star(network, sol.schedule).makespan;
+
+  // The single-round optimum is always a candidate; never return a
+  // schedule worse than it.
+  const sim::StarSchedule single = sim::single_installment(
+      network, base.alpha_root, base.alpha, base.order);
+  const double single_makespan = sim::execute_star(network, single).makespan;
+  if (single_makespan < sol.makespan) {
+    sol.schedule = single;
+    sol.theta = 1.0;
+    sol.makespan = single_makespan;
+  }
+  return sol;
+}
+
+}  // namespace dls::analysis

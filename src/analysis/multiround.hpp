@@ -1,0 +1,35 @@
+// Multi-installment (multi-round) star scheduling — the extension of
+// single-round DLT studied by Yang, van der Raadt & Casanova [21].
+//
+// A single-installment schedule forces every worker to sit idle until
+// its entire share has crossed the one-port root; splitting each share
+// into R installments lets late workers start computing much earlier.
+// This module parameterises schedules as: worker shares proportional to
+// the single-round optimum within each round, per-round totals geometric
+// with ratio θ (γ_r ∝ θ^r), plus the root's own share; θ and the root
+// share are tuned by golden-section search against the *exact*
+// event-driven evaluator (sim::execute_star). For R = 1 the family
+// contains the single-round optimum, so the optimiser reproduces
+// solve_star; for comm-heavy instances larger R strictly shortens the
+// schedule with the classic diminishing returns.
+#pragma once
+
+#include <cstddef>
+
+#include "net/networks.hpp"
+#include "sim/star_execution.hpp"
+
+namespace dls::analysis {
+
+struct MultiRoundSolution {
+  sim::StarSchedule schedule;
+  std::size_t rounds = 1;
+  double theta = 1.0;        ///< geometric per-round growth ratio chosen
+  double makespan = 0.0;     ///< exact, from the event-driven evaluator
+};
+
+/// Optimises an R-round schedule for the star. Requires rounds >= 1.
+MultiRoundSolution solve_multiround_star(const net::StarNetwork& network,
+                                         std::size_t rounds);
+
+}  // namespace dls::analysis

@@ -1,0 +1,27 @@
+// Threaded sweep driver for the experiment harness.
+//
+// Monte-Carlo certification sweeps (hundreds of independent instances)
+// are embarrassingly parallel; this runs them across hardware threads
+// while keeping results deterministic — each index writes to its own
+// pre-allocated slot and randomness comes from per-index spawned RNG
+// streams, so the output is identical at any worker count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace dls::analysis {
+
+/// Number of workers parallel_for uses by default (hardware concurrency,
+/// at least 1).
+std::size_t default_workers() noexcept;
+
+/// Invokes body(i) for every i in [0, count), distributed over
+/// `workers` threads (0 = default_workers()). The body must only touch
+/// index-owned state. The first exception thrown by any body is
+/// rethrown on the caller's thread after all workers join.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t workers = 0);
+
+}  // namespace dls::analysis

@@ -1,0 +1,126 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dls::common {
+
+namespace {
+
+std::string short_number(double x) {
+  std::ostringstream os;
+  const double ax = std::abs(x);
+  if (x == 0.0) {
+    os << "0";
+  } else if (ax >= 1e5 || ax < 1e-3) {
+    os << std::scientific << std::setprecision(2) << x;
+  } else {
+    os << std::fixed << std::setprecision(ax < 1.0 ? 4 : 2) << x;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void plot(std::ostream& os, std::span<const Series> series,
+          const PlotOptions& options) {
+  DLS_REQUIRE(options.width >= 16 && options.height >= 4,
+              "plot area too small");
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin, ymin = xmin, ymax = -xmin;
+  bool any = false;
+  for (const auto& s : series) {
+    DLS_REQUIRE(s.xs.size() == s.ys.size(),
+                "series x/y lengths must match");
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (!std::isfinite(s.xs[i]) || !std::isfinite(s.ys[i])) continue;
+      xmin = std::min(xmin, s.xs[i]);
+      xmax = std::max(xmax, s.xs[i]);
+      ymin = std::min(ymin, s.ys[i]);
+      ymax = std::max(ymax, s.ys[i]);
+      any = true;
+    }
+  }
+  if (!any) {
+    os << "(no finite data to plot)\n";
+    return;
+  }
+  if (xmax == xmin) {
+    xmin -= 0.5;
+    xmax += 0.5;
+  }
+  if (ymax == ymin) {
+    ymin -= 0.5;
+    ymax += 0.5;
+  }
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (!std::isfinite(s.xs[i]) || !std::isfinite(s.ys[i])) continue;
+      const double fx = (s.xs[i] - xmin) / (xmax - xmin);
+      const double fy = (s.ys[i] - ymin) / (ymax - ymin);
+      const int col = std::clamp(
+          static_cast<int>(std::lround(fx * (w - 1))), 0, w - 1);
+      const int row = std::clamp(
+          static_cast<int>(std::lround((1.0 - fy) * (h - 1))), 0, h - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          s.marker;
+    }
+  }
+
+  if (!options.title.empty()) os << options.title << '\n';
+  const std::string ytop = short_number(ymax);
+  const std::string ybot = short_number(ymin);
+  const std::size_t margin = std::max(ytop.size(), ybot.size());
+  for (int row = 0; row < h; ++row) {
+    std::string label;
+    if (row == 0) label = ytop;
+    else if (row == h - 1) label = ybot;
+    os << std::string(margin - label.size(), ' ') << label << " |"
+       << grid[static_cast<std::size_t>(row)] << '\n';
+  }
+  os << std::string(margin + 1, ' ') << '+'
+     << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  const std::string xlo = short_number(xmin);
+  const std::string xhi = short_number(xmax);
+  os << std::string(margin + 2, ' ') << xlo;
+  const auto used = xlo.size() + xhi.size();
+  if (used < static_cast<std::size_t>(w)) {
+    os << std::string(static_cast<std::size_t>(w) - used, ' ');
+  }
+  os << xhi << '\n';
+  if (!options.x_label.empty() || !options.y_label.empty()) {
+    os << std::string(margin + 2, ' ') << "x: " << options.x_label;
+    if (!options.y_label.empty()) os << "   y: " << options.y_label;
+    os << '\n';
+  }
+  bool legend = false;
+  for (const auto& s : series) {
+    if (!s.name.empty()) legend = true;
+  }
+  if (legend) {
+    os << std::string(margin + 2, ' ');
+    bool first = true;
+    for (const auto& s : series) {
+      if (s.name.empty()) continue;
+      if (!first) os << "   ";
+      os << '[' << s.marker << "] " << s.name;
+      first = false;
+    }
+    os << '\n';
+  }
+}
+
+void plot(std::ostream& os, const Series& series, const PlotOptions& options) {
+  plot(os, std::span<const Series>(&series, 1), options);
+}
+
+}  // namespace dls::common

@@ -1,0 +1,38 @@
+// Text-mode line/scatter plots so the bench binaries can show the *shape*
+// of each reproduced figure (utility peaks, makespan curves) directly in
+// the terminal output that gets tee'd into bench_output.txt.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dls::common {
+
+/// One named series of (x, y) points.
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  char marker = '*';
+};
+
+/// Plot configuration.
+struct PlotOptions {
+  int width = 72;    ///< interior columns
+  int height = 18;   ///< interior rows
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/// Renders all series on a shared axis box. Series with mismatched x/y
+/// lengths are rejected; empty series are skipped.
+void plot(std::ostream& os, std::span<const Series> series,
+          const PlotOptions& options);
+
+/// Convenience single-series overload.
+void plot(std::ostream& os, const Series& series, const PlotOptions& options);
+
+}  // namespace dls::common

@@ -1,0 +1,65 @@
+// Error handling primitives shared by every dlsmech library.
+//
+// Precondition violations are programmer errors and throw
+// dls::PreconditionError; domain failures (infeasible instance, malformed
+// message, ...) throw more specific exceptions derived from dls::Error.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dls {
+
+/// Root of the dlsmech exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// An algorithm received an instance it cannot solve (e.g. non-positive
+/// processing rate, empty network).
+class InfeasibleError : public Error {
+ public:
+  explicit InfeasibleError(const std::string& what) : Error(what) {}
+};
+
+/// A protocol message failed authentication, integrity or consistency
+/// checks.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr,
+                                            const std::string& message,
+                                            const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": precondition `" << expr
+     << "` failed";
+  if (!message.empty()) os << ": " << message;
+  throw PreconditionError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace dls
+
+/// Check a documented precondition; throws dls::PreconditionError on
+/// failure. Always enabled (the cost is trivial next to the numeric work).
+#define DLS_REQUIRE(expr, message)                               \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::dls::detail::throw_precondition(                         \
+          #expr, (message), std::source_location::current());    \
+    }                                                            \
+  } while (false)

@@ -1,0 +1,38 @@
+#include "common/optimize.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dls::common {
+
+GoldenResult golden_minimize(const std::function<double(double)>& f,
+                             double lo, double hi, int iterations) {
+  DLS_REQUIRE(lo < hi, "golden_minimize requires lo < hi");
+  DLS_REQUIRE(iterations >= 1, "need at least one iteration");
+  constexpr double kPhi = 0.6180339887498949;  // 1/golden ratio
+  double a = lo, b = hi;
+  double x1 = b - kPhi * (b - a);
+  double x2 = a + kPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  for (int iter = 0; iter < iterations; ++iter) {
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kPhi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  const double x = f1 <= f2 ? x1 : x2;
+  return GoldenResult{x, std::min(f1, f2)};
+}
+
+}  // namespace dls::common

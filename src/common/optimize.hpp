@@ -1,0 +1,19 @@
+// Tiny derivative-free 1-D minimisation used by schedule optimisers.
+#pragma once
+
+#include <functional>
+
+namespace dls::common {
+
+struct GoldenResult {
+  double x = 0.0;
+  double value = 0.0;
+};
+
+/// Golden-section search for a (quasi-)unimodal f on [lo, hi].
+/// `iterations` halves the bracket ~0.69x each step; 60 iterations give
+/// machine-precision brackets on unit-scale intervals.
+GoldenResult golden_minimize(const std::function<double(double)>& f,
+                             double lo, double hi, int iterations = 60);
+
+}  // namespace dls::common

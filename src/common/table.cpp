@@ -1,0 +1,100 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dls::common {
+
+std::string format_double(double x, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << x;
+  return os.str();
+}
+
+std::string Cell::str() const {
+  if (const auto* text = std::get_if<std::string>(&value_)) return *text;
+  if (const auto* n = std::get_if<std::int64_t>(&value_)) {
+    return std::to_string(*n);
+  }
+  const auto& real = std::get<Real>(value_);
+  return format_double(real.x, real.precision);
+}
+
+Table::Table(std::vector<Column> columns) : columns_(std::move(columns)) {
+  DLS_REQUIRE(!columns_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  DLS_REQUIRE(cells.size() == columns_.size(),
+              "row width must match column count");
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (const auto& cell : cells) row.push_back(cell.str());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].header.size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto emit = [&](const std::string& text, std::size_t c) {
+    const auto pad = widths[c] - text.size();
+    if (columns_[c].align == Align::kRight) os << std::string(pad, ' ');
+    os << text;
+    if (columns_[c].align == Align::kLeft) os << std::string(pad, ' ');
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << "  ";
+    emit(columns_[c].header, c);
+  }
+  os << '\n';
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    total += widths[c] + (c ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c) os << "  ";
+      emit(row[c], c);
+    }
+    os << '\n';
+  }
+}
+
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(columns_[c].header);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace dls::common

@@ -1,0 +1,67 @@
+// Aligned console tables for the bench binaries and examples. The bench
+// harness prints the same rows the paper's evaluation would, so the output
+// has to be stable and diff-friendly.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dls::common {
+
+/// How a column's cells are aligned.
+enum class Align { kLeft, kRight };
+
+/// One cell: text, integer, or fixed-precision double.
+class Cell {
+ public:
+  Cell(std::string text) : value_(std::move(text)) {}          // NOLINT
+  Cell(const char* text) : value_(std::string(text)) {}        // NOLINT
+  Cell(std::int64_t n) : value_(n) {}                          // NOLINT
+  Cell(int n) : value_(static_cast<std::int64_t>(n)) {}        // NOLINT
+  Cell(std::size_t n) : value_(static_cast<std::int64_t>(n)) {}  // NOLINT
+  Cell(double x, int precision = 6) : value_(Real{x, precision}) {}  // NOLINT
+
+  /// Rendered contents of the cell.
+  std::string str() const;
+
+ private:
+  struct Real {
+    double x;
+    int precision;
+  };
+  std::variant<std::string, std::int64_t, Real> value_;
+};
+
+/// A simple fixed-schema table: declare columns, append rows, print.
+class Table {
+ public:
+  struct Column {
+    std::string header;
+    Align align = Align::kRight;
+  };
+
+  explicit Table(std::vector<Column> columns);
+
+  /// Appends a row; the number of cells must equal the number of columns.
+  void add_row(std::vector<Cell> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule, two-space column gutters.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (no alignment, comma-separated, quoted when needed).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `x` with `precision` digits after the point.
+std::string format_double(double x, int precision);
+
+}  // namespace dls::common

@@ -1,0 +1,38 @@
+// Floating-point comparison helpers. The DLT closed forms are exact up to
+// rounding, so tight relative tolerances are the norm in both library
+// invariant checks and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace dls::common {
+
+/// Default relative tolerance for solver invariants.
+inline constexpr double kDefaultRelTol = 1e-9;
+
+/// Relative difference |a-b| / max(|a|, |b|, 1).
+inline double relative_error(double a, double b) noexcept {
+  const double scale = std::max({std::abs(a), std::abs(b), 1.0});
+  return std::abs(a - b) / scale;
+}
+
+/// True when a and b agree within relative tolerance `tol`.
+inline bool approx_equal(double a, double b,
+                         double tol = kDefaultRelTol) noexcept {
+  return relative_error(a, b) <= tol;
+}
+
+/// True when a <= b up to tolerance (allows tiny numeric overshoot).
+inline bool approx_le(double a, double b,
+                      double tol = kDefaultRelTol) noexcept {
+  return a <= b || approx_equal(a, b, tol);
+}
+
+/// True when a >= b up to tolerance.
+inline bool approx_ge(double a, double b,
+                      double tol = kDefaultRelTol) noexcept {
+  return a >= b || approx_equal(a, b, tol);
+}
+
+}  // namespace dls::common

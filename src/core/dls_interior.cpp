@@ -1,0 +1,122 @@
+#include "core/dls_interior.hpp"
+
+#include "common/error.hpp"
+#include "dlt/linear.hpp"
+
+namespace dls::core {
+
+namespace {
+
+/// The arm (including the root at its head) as a boundary chain, plus
+/// the map from arm positions to network positions.
+struct Arm {
+  net::LinearNetwork chain;
+  std::vector<std::size_t> positions;  ///< positions[j] = network index
+};
+
+Arm make_arm(const net::InteriorLinearNetwork& net, bool left) {
+  const std::size_t r = net.root();
+  const std::size_t n = net.size();
+  const std::size_t len = left ? r : n - r - 1;
+  DLS_REQUIRE(len >= 1, "arm must contain at least one processor");
+  std::vector<double> w = {net.w(r)};
+  std::vector<double> z;
+  std::vector<std::size_t> positions = {r};
+  for (std::size_t k = 0; k < len; ++k) {
+    const std::size_t pos = left ? r - 1 - k : r + 1 + k;
+    positions.push_back(pos);
+    w.push_back(net.w(pos));
+    const std::size_t link = left ? r - k : r + 1 + k;
+    z.push_back(net.z(link));
+  }
+  return Arm{net::LinearNetwork(std::move(w), std::move(z)),
+             std::move(positions)};
+}
+
+}  // namespace
+
+DlsInteriorResult assess_dls_interior(
+    const net::InteriorLinearNetwork& bid_network,
+    std::span<const double> actual_rates, const MechanismConfig& config) {
+  const std::size_t n = bid_network.size();
+  DLS_REQUIRE(actual_rates.size() == n, "actual_rates size mismatch");
+  const std::size_t r = bid_network.root();
+
+  DlsInteriorResult result;
+  result.solution = dlt::solve_linear_interior(bid_network);
+  result.processors.resize(n);
+
+  // The obedient root (4.3).
+  {
+    Assessment& root = result.processors[r];
+    root.index = r;
+    root.bid_rate = bid_network.w(r);
+    root.actual_rate = actual_rates[r];
+    root.alpha = result.solution.alpha[r];
+    root.computed = root.alpha;
+    root.w_hat = root.actual_rate;
+    root.money.valuation = -root.computed * root.actual_rate;
+    root.money.compensation = root.computed * root.actual_rate;
+    root.money.payment = root.money.compensation;
+    root.money.utility = 0.0;
+  }
+
+  for (const bool left : {true, false}) {
+    const Arm arm = make_arm(bid_network, left);
+    const dlt::LinearSolution arm_sol =
+        dlt::solve_linear_boundary(arm.chain);
+    const std::size_t arm_n = arm.chain.size();
+    for (std::size_t j = 1; j < arm_n; ++j) {
+      const std::size_t pos = arm.positions[j];
+      Assessment& a = result.processors[pos];
+      a.index = pos;
+      a.bid_rate = arm.chain.w(j);
+      a.actual_rate = actual_rates[pos];
+      a.alpha = result.solution.alpha[pos];
+      a.alpha_hat = arm_sol.alpha_hat[j];
+      a.equivalent_bid = arm_sol.equivalent_w[j];
+      a.computed = a.alpha;  // compliant execution at this layer
+      a.w_hat = w_hat(/*terminal=*/j + 1 == arm_n, a.bid_rate,
+                      a.actual_rate, a.alpha_hat, a.equivalent_bid);
+
+      PaymentInputs in;
+      in.predecessor_bid = arm.chain.w(j - 1);
+      in.link_z = arm.chain.z(j);
+      in.alpha_hat_pred = arm_sol.alpha_hat[j - 1];
+      in.alpha = a.alpha;
+      in.computed = a.computed;
+      in.actual_rate = a.actual_rate;
+      in.w_hat = a.w_hat;
+      a.money = evaluate_payment(in, config);
+      result.total_payment += a.money.payment;
+    }
+  }
+  result.mechanism_cost =
+      result.total_payment + result.processors[r].money.compensation;
+  return result;
+}
+
+double interior_utility_under_bid(
+    const net::InteriorLinearNetwork& true_network, std::size_t index,
+    double bid, double actual_rate, const MechanismConfig& config) {
+  const std::size_t n = true_network.size();
+  DLS_REQUIRE(index < n && index != true_network.root(),
+              "index must name a strategic (non-root) processor");
+  DLS_REQUIRE(bid > 0.0, "bid must be positive");
+  DLS_REQUIRE(actual_rate >= true_network.w(index) - 1e-12,
+              "cannot execute faster than the true rate");
+
+  std::vector<double> w(n), z(n - 1), actual(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = i == index ? bid : true_network.w(i);
+    actual[i] = i == index ? actual_rate : true_network.w(i);
+  }
+  for (std::size_t j = 1; j < n; ++j) z[j - 1] = true_network.z(j);
+  const net::InteriorLinearNetwork bids(std::move(w), std::move(z),
+                                        true_network.root());
+  return assess_dls_interior(bids, actual, config)
+      .processors[index]
+      .money.utility;
+}
+
+}  // namespace dls::core

@@ -1,0 +1,49 @@
+// DLS-LBL extended to interior load origination — the mechanism side of
+// the paper's future-work direction.
+//
+// With the obedient root at an interior position, each arm of the chain
+// is a boundary-origination chain whose "predecessor" at the head is the
+// root itself. Within an arm, the interior-optimal split coincides with
+// the arm's own Algorithm 1 fractions (the arm only receives a scaled
+// load, and local fractions are scale-free), so the DLS-LBL payment
+// rules apply verbatim per arm:
+//   B_v = w_{pred(v)} − w̄_{pred(v)}(α(bids), actuals),
+// with pred(v) the neighbour of v on the path toward the root. The
+// compensation/valuation legs use the true (scaled) assigned loads, so
+// compliant utilities again reduce to the bonus, strategyproofness and
+// voluntary participation carry over arm by arm, and the root keeps
+// utility 0.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/dls_lbl.hpp"
+#include "dlt/interior.hpp"
+#include "net/networks.hpp"
+
+namespace dls::core {
+
+struct DlsInteriorResult {
+  dlt::InteriorSolution solution;     ///< split computed from the bids
+  std::vector<Assessment> processors; ///< network indexing; root = root pos
+  double total_payment = 0.0;         ///< Σ Q over strategic processors
+  double mechanism_cost = 0.0;        ///< + root reimbursement
+};
+
+/// Runs the interior mechanism arithmetic. `bid_network` carries the
+/// bids (the root's own rate at its position is truthful); `actual_rates`
+/// the metered rates. Execution is assumed compliant (α̃ = α); the
+/// protocol layer owns deviation handling, as for the boundary case.
+DlsInteriorResult assess_dls_interior(
+    const net::InteriorLinearNetwork& bid_network,
+    std::span<const double> actual_rates, const MechanismConfig& config);
+
+/// Counterfactual utility for strategyproofness checks: processor
+/// `index` (any non-root position) bids `bid` and runs at `actual_rate`,
+/// everyone else truthful and compliant.
+double interior_utility_under_bid(
+    const net::InteriorLinearNetwork& true_network, std::size_t index,
+    double bid, double actual_rate, const MechanismConfig& config);
+
+}  // namespace dls::core

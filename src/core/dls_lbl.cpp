@@ -1,0 +1,106 @@
+#include "core/dls_lbl.hpp"
+
+#include "common/error.hpp"
+
+namespace dls::core {
+
+DlsLblResult assess_dls_lbl(const net::LinearNetwork& bid_network,
+                            std::span<const double> actual_rates,
+                            std::span<const double> computed_loads,
+                            const MechanismConfig& config,
+                            bool solution_found) {
+  const std::size_t n = bid_network.size();
+  DLS_REQUIRE(n >= 2, "the mechanism needs at least one strategic worker");
+  DLS_REQUIRE(actual_rates.size() == n, "actual_rates size mismatch");
+  DLS_REQUIRE(computed_loads.size() == n, "computed_loads size mismatch");
+
+  DlsLblResult result;
+  result.solution = dlt::solve_linear_boundary(bid_network);
+  const dlt::LinearSolution& sol = result.solution;
+
+  result.processors.resize(n);
+
+  // The obedient root: reimbursed exactly its cost, zero utility (4.3).
+  {
+    Assessment& root = result.processors[0];
+    root.index = 0;
+    root.bid_rate = bid_network.w(0);
+    root.actual_rate = actual_rates[0];
+    root.alpha = sol.alpha[0];
+    root.alpha_hat = sol.alpha_hat[0];
+    root.equivalent_bid = sol.equivalent_w[0];
+    root.computed = computed_loads[0];
+    root.w_hat = actual_rates[0];
+    root.money.valuation = -root.computed * root.actual_rate;
+    root.money.compensation = root.computed * root.actual_rate;
+    root.money.payment = root.money.compensation;
+    root.money.utility = 0.0;
+  }
+
+  for (std::size_t j = 1; j < n; ++j) {
+    Assessment& a = result.processors[j];
+    a.index = j;
+    a.bid_rate = bid_network.w(j);
+    a.actual_rate = actual_rates[j];
+    a.alpha = sol.alpha[j];
+    a.alpha_hat = sol.alpha_hat[j];
+    a.equivalent_bid = sol.equivalent_w[j];
+    a.computed = computed_loads[j];
+    a.w_hat = config.verify_actual_rates
+                  ? w_hat(/*terminal=*/j + 1 == n, a.bid_rate,
+                          a.actual_rate, a.alpha_hat, a.equivalent_bid)
+                  : a.equivalent_bid;  // ablation: trust the bids blindly
+
+    PaymentInputs in;
+    in.predecessor_bid = bid_network.w(j - 1);
+    in.link_z = bid_network.z(j);
+    in.alpha_hat_pred = sol.alpha_hat[j - 1];
+    in.alpha = a.alpha;
+    in.computed = a.computed;
+    in.actual_rate = a.actual_rate;
+    in.w_hat = a.w_hat;
+    in.solution_found = solution_found;
+    a.money = evaluate_payment(in, config);
+
+    result.total_payment += a.money.payment;
+  }
+  result.mechanism_cost =
+      result.total_payment + result.processors[0].money.compensation;
+  return result;
+}
+
+DlsLblResult assess_compliant(const net::LinearNetwork& bid_network,
+                              std::span<const double> actual_rates,
+                              const MechanismConfig& config) {
+  const dlt::LinearSolution sol = dlt::solve_linear_boundary(bid_network);
+  return assess_dls_lbl(bid_network, actual_rates, sol.alpha, config);
+}
+
+double utility_under_bid(const net::LinearNetwork& true_network,
+                         std::size_t index, double bid, double actual_rate,
+                         const MechanismConfig& config) {
+  const std::size_t n = true_network.size();
+  DLS_REQUIRE(index >= 1 && index < n, "index must name a strategic worker");
+  DLS_REQUIRE(bid > 0.0, "bid must be positive");
+  DLS_REQUIRE(actual_rate >= true_network.w(index) - 1e-12,
+              "cannot execute faster than the true rate");
+
+  const net::LinearNetwork bid_network =
+      true_network.with_processing_time(index, bid);
+  std::vector<double> actual(true_network.processing_times().begin(),
+                             true_network.processing_times().end());
+  actual[index] = actual_rate;
+  const DlsLblResult result =
+      assess_compliant(bid_network, actual, config);
+  return result.processors[index].money.utility;
+}
+
+double cheating_profit_bound(const net::LinearNetwork& bid_network) {
+  double bound = 0.0;
+  for (std::size_t j = 1; j < bid_network.size(); ++j) {
+    bound += bid_network.w(j) + bid_network.w(j - 1);
+  }
+  return bound;
+}
+
+}  // namespace dls::core

@@ -1,0 +1,75 @@
+// The DLS-LBL mechanism (Sect. 4): allocation from bids + payments from
+// verified actuals.
+//
+// This module is the *centralised assessment* of the mechanism — given
+// the bids, the metered actual rates and the actually-computed loads, it
+// produces what every processor is owed and its resulting utility. The
+// distributed four-phase realisation over signed messages (including
+// deviation detection and fines) lives in src/protocol and calls into
+// this module for the arithmetic.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/payment_rules.hpp"
+#include "dlt/linear.hpp"
+#include "net/networks.hpp"
+
+namespace dls::core {
+
+/// Everything the mechanism concludes about processor P_j.
+struct Assessment {
+  std::size_t index = 0;
+  double bid_rate = 0.0;       ///< w_j (the root's true rate for j=0)
+  double actual_rate = 0.0;    ///< w̃_j
+  double alpha = 0.0;          ///< α_j assigned from the bids
+  double alpha_hat = 0.0;      ///< α̂_j from the bids
+  double equivalent_bid = 0.0; ///< w̄_j from the bids
+  double computed = 0.0;       ///< α̃_j
+  double w_hat = 0.0;          ///< ŵ_j (4.10/4.11); root: its own rate
+  PaymentBreakdown money;      ///< V/C/E/B/Q/U
+};
+
+struct DlsLblResult {
+  dlt::LinearSolution solution;  ///< Algorithm 1 on the bid network
+  std::vector<Assessment> processors;  ///< index 0..m; P_0 is the root
+  double total_payment = 0.0;    ///< Σ_{j>=1} Q_j
+  double mechanism_cost = 0.0;   ///< total_payment + root reimbursement
+};
+
+/// Runs the mechanism arithmetic.
+///  * `bid_network` — link times are ground truth; w(0) is the obedient
+///    root's rate; w(j) for j>=1 are the strategic bids.
+///  * `actual_rates` — w̃_j for all n processors (w̃_0 = w(0)).
+///  * `computed_loads` — α̃_j for all n processors; pass the solution's
+///    α to model compliant execution.
+/// `solution_found` feeds the Theorem 5.2 solution bonus when enabled.
+DlsLblResult assess_dls_lbl(const net::LinearNetwork& bid_network,
+                            std::span<const double> actual_rates,
+                            std::span<const double> computed_loads,
+                            const MechanismConfig& config,
+                            bool solution_found = true);
+
+/// Compliant-execution convenience: everyone computes their assignment at
+/// their stated actual rate (α̃ = α from bids).
+DlsLblResult assess_compliant(const net::LinearNetwork& bid_network,
+                              std::span<const double> actual_rates,
+                              const MechanismConfig& config);
+
+/// Counterfactual utility for strategyproofness sweeps: in the network of
+/// *true* rates `true_network`, processor `index` (>= 1) bids `bid` and
+/// executes at `actual_rate` (>= its true rate) while everyone else is
+/// truthful and compliant. Returns the utility U_index.
+double utility_under_bid(const net::LinearNetwork& true_network,
+                         std::size_t index, double bid, double actual_rate,
+                         const MechanismConfig& config);
+
+/// Upper bound on the profit any single deviation can extract from this
+/// instance — used to size the fine F ("larger than any potential
+/// profits attainable by cheating"). The crude but safe bound is the
+/// total money the mechanism could ever hand out on a unit load:
+/// Σ_j (w_j + predecessor bid).
+double cheating_profit_bound(const net::LinearNetwork& bid_network);
+
+}  // namespace dls::core

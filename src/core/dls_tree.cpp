@@ -1,0 +1,166 @@
+#include "core/dls_tree.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "dlt/star.hpp"
+
+namespace dls::core {
+
+namespace {
+
+/// Children of `p` in the service order solve_tree uses (ascending link
+/// time, stable).
+std::vector<std::size_t> service_order(const net::TreeNetwork& net,
+                                       std::size_t p) {
+  const auto kids = net.children(p);
+  std::vector<std::size_t> order(kids.begin(), kids.end());
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return net.z(a) < net.z(b);
+                   });
+  return order;
+}
+
+/// Local star at `p` with child subtree `skip` removed, solved optimally
+/// from the bids. ρ of that reduced system.
+double rho_without(const net::TreeNetwork& net,
+                   const dlt::TreeSolution& sol, std::size_t p,
+                   std::size_t skip) {
+  std::vector<double> w, z;
+  for (const std::size_t c : net.children(p)) {
+    if (c == skip) continue;
+    w.push_back(sol.equivalent_w[c]);
+    z.push_back(net.z(c));
+  }
+  if (w.empty()) return net.w(p);  // the parent alone
+  const net::StarNetwork star(net.w(p), std::move(w), std::move(z));
+  return dlt::solve_star(star).makespan;
+}
+
+/// Realised completion per unit load of the local star at `p` when child
+/// `target`'s subtree runs at `rate` instead of its bid ρ̄; the split and
+/// the service order stay bid-derived.
+double rho_realized(const net::TreeNetwork& net,
+                    const dlt::TreeSolution& sol, std::size_t p,
+                    std::size_t target, double rate) {
+  const double load_p = sol.received[p];
+  DLS_REQUIRE(load_p > 0.0, "parent receives no load");
+  double rho = sol.local_keep[p] * net.w(p);
+  double clock = 0.0;
+  for (const std::size_t c : service_order(net, p)) {
+    const double share = sol.received[c] / load_p;
+    if (share <= 0.0) continue;
+    clock += share * net.z(c);
+    const double subtree_rate =
+        c == target ? rate : sol.equivalent_w[c];
+    rho = std::max(rho, clock + share * subtree_rate);
+  }
+  return rho;
+}
+
+}  // namespace
+
+DlsTreeResult assess_dls_tree(const net::TreeNetwork& bid_network,
+                              std::span<const double> actual_rates,
+                              const MechanismConfig& config) {
+  const dlt::TreeSolution sol = dlt::solve_tree(bid_network);
+  return assess_dls_tree(bid_network, actual_rates, sol.alpha, config);
+}
+
+DlsTreeResult assess_dls_tree(const net::TreeNetwork& bid_network,
+                              std::span<const double> actual_rates,
+                              std::span<const double> computed_loads,
+                              const MechanismConfig& config,
+                              bool solution_found) {
+  const std::size_t n = bid_network.size();
+  DLS_REQUIRE(n >= 2, "the mechanism needs at least one strategic node");
+  DLS_REQUIRE(actual_rates.size() == n, "actual_rates size mismatch");
+  DLS_REQUIRE(computed_loads.size() == n, "computed_loads size mismatch");
+
+  DlsTreeResult result;
+  result.solution = dlt::solve_tree(bid_network);
+  const dlt::TreeSolution& sol = result.solution;
+  result.nodes.resize(n);
+
+  // The obedient root: reimbursed at cost, zero utility, as in (4.3).
+  {
+    TreeAssessment& root = result.nodes[0];
+    root.node = 0;
+    root.bid_rate = bid_network.w(0);
+    root.actual_rate = actual_rates[0];
+    root.alpha = sol.alpha[0];
+    root.computed = computed_loads[0];
+    root.subtree_rho = sol.equivalent_w[0];
+    root.valuation = -root.computed * root.actual_rate;
+    root.compensation = root.computed * root.actual_rate;
+    root.payment = root.compensation;
+    root.utility = 0.0;
+  }
+
+  for (std::size_t v = 1; v < n; ++v) {
+    TreeAssessment& a = result.nodes[v];
+    a.node = v;
+    a.bid_rate = bid_network.w(v);
+    a.actual_rate = actual_rates[v];
+    a.alpha = sol.alpha[v];
+    a.subtree_rho = sol.equivalent_w[v];
+    // Verified subtree rate, the (4.10)/(4.11) analogue.
+    if (!config.verify_actual_rates) {
+      a.w_hat = a.subtree_rho;
+    } else if (a.actual_rate >= a.bid_rate) {
+      a.w_hat = std::max(a.subtree_rho,
+                         sol.local_keep[v] * a.actual_rate);
+    } else {
+      a.w_hat = a.subtree_rho;
+    }
+    const std::size_t p = bid_network.parent(v);
+    a.computed = computed_loads[v];
+    a.rho_without = rho_without(bid_network, sol, p, v);
+    a.rho_realized = rho_realized(bid_network, sol, p, v, a.w_hat);
+    a.valuation = -a.computed * a.actual_rate;
+    if (a.computed > 0.0) {
+      // Recompense for absorbing a shedding ancestor's dumped load —
+      // the (4.8) analogue.
+      if (a.computed >= a.alpha) {
+        a.recompense = (a.computed - a.alpha) * a.actual_rate;
+      }
+      a.compensation = a.alpha * a.actual_rate + a.recompense;
+      a.bonus = a.rho_without - a.rho_realized;
+      if (config.solution_bonus_enabled && solution_found) {
+        a.solution_bonus = config.solution_bonus;
+      }
+      a.payment = a.compensation + a.bonus + a.solution_bonus;
+    }
+    a.utility = a.valuation + a.payment;
+    result.total_payment += a.payment;
+  }
+  return result;
+}
+
+double tree_utility_under_bid(const net::TreeNetwork& true_network,
+                              std::size_t index, double bid,
+                              double actual_rate,
+                              const MechanismConfig& config) {
+  const std::size_t n = true_network.size();
+  DLS_REQUIRE(index >= 1 && index < n, "index must name a strategic node");
+  DLS_REQUIRE(bid > 0.0, "bid must be positive");
+  DLS_REQUIRE(actual_rate >= true_network.w(index) - 1e-12,
+              "cannot execute faster than the true rate");
+
+  std::vector<double> w(n), z(n, 1.0), actual(n);
+  std::vector<std::size_t> parent(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = i == index ? bid : true_network.w(i);
+    actual[i] = i == index ? actual_rate : true_network.w(i);
+    if (i >= 1) {
+      z[i] = true_network.z(i);
+      parent[i] = true_network.parent(i);
+    }
+  }
+  const net::TreeNetwork bid_network(std::move(w), std::move(z),
+                                     std::move(parent));
+  return assess_dls_tree(bid_network, actual, config).nodes[index].utility;
+}
+
+}  // namespace dls::core

@@ -1,0 +1,74 @@
+// DLS-T analogue: the mechanism for tree networks, reconstructed in the
+// same shape the paper's companion work [9] uses and consistent with
+// DLS-LBL: verified-cost compensation plus a bonus computed from the
+// *local star* at the node's parent —
+//   B_v = ρ_{p,-v}(bids) − ρ̂_p(α(bids), actuals),
+// where ρ_{p,-v} is the equivalent unit time of the parent's local star
+// with v's subtree removed (independent of v's bid) and ρ̂_p keeps the
+// bid-derived split but charges v's subtree at its verified rate
+//   ŵ_v = keep_v · w̃_v   if w̃_v >= w_v   (slower than bid dominates)
+//   ŵ_v = ρ̄_v           otherwise        (the bids pin the subtree)
+// — the tree generalisation of eqs. (4.9)-(4.11). Truthful bidding
+// maximises B_v (the bid-optimal local split evaluated truthfully is the
+// local optimum) and at truth B_v = ρ_{p,-v} − ρ_p >= 0.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/payment_rules.hpp"
+#include "dlt/tree.hpp"
+#include "net/tree.hpp"
+
+namespace dls::core {
+
+struct TreeAssessment {
+  std::size_t node = 0;
+  double bid_rate = 0.0;
+  double actual_rate = 0.0;
+  double alpha = 0.0;           ///< global share from the bid solution
+  double computed = 0.0;        ///< α̃_v actually computed
+  double subtree_rho = 0.0;     ///< ρ̄_v from the bids
+  double w_hat = 0.0;           ///< ŵ_v (verified subtree rate)
+  double rho_without = 0.0;     ///< ρ_{p,-v}
+  double rho_realized = 0.0;    ///< ρ̂_p
+  double valuation = 0.0;
+  double compensation = 0.0;    ///< α_v w̃_v + recompense
+  double recompense = 0.0;      ///< (α̃_v − α_v) w̃_v when overloaded
+  double bonus = 0.0;
+  double solution_bonus = 0.0;
+  double payment = 0.0;
+  double utility = 0.0;
+};
+
+struct DlsTreeResult {
+  dlt::TreeSolution solution;
+  std::vector<TreeAssessment> nodes;  ///< index 0 is the obedient root
+  double total_payment = 0.0;
+};
+
+/// Runs the tree mechanism arithmetic. The network carries bid rates for
+/// nodes >= 1 (the root's w is its true rate); `actual_rates` carries
+/// w̃_v for all nodes; `computed_loads` carries α̃_v (deviant execution:
+/// shedders computed less, overloaded children more — the recompense
+/// (4.8) analogue reimburses the latter). `solution_found` feeds the
+/// Theorem 5.2 solution bonus when enabled.
+DlsTreeResult assess_dls_tree(const net::TreeNetwork& bid_network,
+                              std::span<const double> actual_rates,
+                              std::span<const double> computed_loads,
+                              const MechanismConfig& config,
+                              bool solution_found = true);
+
+/// Compliant-execution convenience (α̃ = α from the bid solution).
+DlsTreeResult assess_dls_tree(const net::TreeNetwork& bid_network,
+                              std::span<const double> actual_rates,
+                              const MechanismConfig& config);
+
+/// Counterfactual utility of node `index` (>= 1) bidding `bid` and
+/// executing at `actual_rate`, everyone else truthful and compliant.
+double tree_utility_under_bid(const net::TreeNetwork& true_network,
+                              std::size_t index, double bid,
+                              double actual_rate,
+                              const MechanismConfig& config);
+
+}  // namespace dls::core

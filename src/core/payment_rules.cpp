@@ -1,0 +1,47 @@
+#include "core/payment_rules.hpp"
+
+#include "common/error.hpp"
+#include "dlt/linear.hpp"
+
+namespace dls::core {
+
+double w_hat(bool terminal, double bid_rate, double actual_rate,
+             double alpha_hat, double equivalent_bid) {
+  DLS_REQUIRE(actual_rate > 0.0, "actual rate must be positive");
+  if (terminal) return actual_rate;  // (4.10)
+  // (4.11): slower than bid dominates the pair; faster leaves the
+  // bid-based equivalent time in place.
+  if (actual_rate >= bid_rate) return alpha_hat * actual_rate;
+  return equivalent_bid;
+}
+
+double recompense(double alpha, double computed, double actual_rate) {
+  DLS_REQUIRE(alpha >= 0.0 && computed >= 0.0, "loads must be non-negative");
+  if (computed < alpha) return 0.0;
+  return (computed - alpha) * actual_rate;
+}
+
+PaymentBreakdown evaluate_payment(const PaymentInputs& in,
+                                  const MechanismConfig& config) {
+  DLS_REQUIRE(in.actual_rate > 0.0, "actual rate must be positive");
+  PaymentBreakdown out;
+  out.valuation = -in.computed * in.actual_rate;  // (4.5)
+  out.realized_equivalent = dlt::pair_realized_w(
+      in.alpha_hat_pred, in.predecessor_bid, in.link_z, in.w_hat);
+  if (in.computed <= 0.0) {
+    // Q_j = 0: a processor that computed nothing is paid nothing.
+    out.utility = out.valuation;
+    return out;
+  }
+  out.recompense = recompense(in.alpha, in.computed, in.actual_rate);
+  out.compensation = in.alpha * in.actual_rate + out.recompense;  // (4.7)
+  out.bonus = in.predecessor_bid - out.realized_equivalent;       // (4.9)
+  if (config.solution_bonus_enabled && in.solution_found) {
+    out.solution_bonus = config.solution_bonus;  // (4.13)
+  }
+  out.payment = out.compensation + out.bonus + out.solution_bonus;
+  out.utility = out.valuation + out.payment;
+  return out;
+}
+
+}  // namespace dls::core

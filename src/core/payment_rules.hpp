@@ -1,0 +1,86 @@
+// The DLS-LBL payment rules — eqs. (4.3)-(4.13) of the paper.
+//
+// For strategic processor P_j (j = 1..m):
+//   valuation      V_j = -α̃_j w̃_j                                  (4.5)
+//   compensation   C_j = α_j w̃_j + E_j                              (4.7)
+//   recompense     E_j = (α̃_j - α_j) w̃_j  when α̃_j >= α_j, else 0  (4.8)
+//   bonus          B_j = w_{j-1} - w̄_{j-1}(α(bids), actuals)        (4.9)
+//   payment        Q_j = 0 when α̃_j = 0, else C_j + B_j [+ S]  (4.6/4.13)
+//   utility        U_j = V_j + Q_j                                   (4.4)
+//
+// The bonus term re-evaluates the two-processor reduction
+// {P_{j-1}, equivalent(P_j..P_m)} of eq. (2.3): the allocation α̂_{j-1}
+// is fixed by the *bids*, but the tail is charged at its verified actual
+// rate ŵ_j (4.10/4.11):
+//   ŵ_m = w̃_m;   ŵ_k = α̂_k w̃_k  if w̃_k >= w_k,  else w̄_k.
+// Running slower than bid inflates ŵ_j, inflates the realised equivalent
+// time, and so deflates the bonus; running faster than bid leaves it
+// unchanged (the tail's completion is already pinned by the bids).
+#pragma once
+
+#include <cstddef>
+
+namespace dls::core {
+
+/// Mechanism-wide constants.
+struct MechanismConfig {
+  /// The fine F. Must exceed any profit attainable by cheating; the
+  /// protocol layer validates this against the instance at hand.
+  double fine = 100.0;
+
+  /// Probability q in (0, 1] that the root challenges a submitted bill
+  /// (Phase IV). A failed challenge costs F/q.
+  double audit_probability = 0.25;
+
+  /// Theorem 5.2 variant: pay a small solution bonus S = `solution_bonus`
+  /// to every processor that computed load when the overall solution
+  /// verifies, so selfish-and-annoying agents risk losing it by
+  /// corrupting data.
+  bool solution_bonus_enabled = false;
+  double solution_bonus = 0.01;
+
+  /// ABLATION SWITCH — disables the "with verification" part of the
+  /// mechanism: ŵ_j is taken from the *bids* instead of the metered
+  /// actual rates (ŵ_j = w̄_j unconditionally). With verification off,
+  /// Lemma 5.3 case (ii) fails: executing slower than bid no longer
+  /// costs bonus, so full-capacity execution stops being dominant. Keep
+  /// true except in the ablation bench.
+  bool verify_actual_rates = true;
+};
+
+/// Inputs describing processor P_j as the payment rules see it.
+struct PaymentInputs {
+  double predecessor_bid = 0.0;  ///< w_{j-1} (the root's true rate for j=1)
+  double link_z = 0.0;           ///< z_j
+  double alpha_hat_pred = 0.0;   ///< α̂_{j-1} from the bid solution
+  double alpha = 0.0;            ///< α_j assigned by the bid solution
+  double computed = 0.0;         ///< α̃_j actually computed
+  double actual_rate = 0.0;      ///< w̃_j from the meter
+  double w_hat = 0.0;            ///< ŵ_j per (4.10)/(4.11)
+  bool solution_found = true;    ///< input to the solution bonus S
+};
+
+/// Per-processor monetary outcome.
+struct PaymentBreakdown {
+  double valuation = 0.0;      ///< V_j
+  double compensation = 0.0;   ///< C_j (includes E_j)
+  double recompense = 0.0;     ///< E_j
+  double bonus = 0.0;          ///< B_j
+  double solution_bonus = 0.0; ///< S (0 unless enabled and solved)
+  double payment = 0.0;        ///< Q_j
+  double utility = 0.0;        ///< U_j = V_j + Q_j
+  double realized_equivalent = 0.0;  ///< w̄_{j-1}(α(bids), actuals)
+};
+
+/// ŵ_j per eqs. (4.10)-(4.11). `terminal` selects the ŵ_m = w̃_m case.
+double w_hat(bool terminal, double bid_rate, double actual_rate,
+             double alpha_hat, double equivalent_bid);
+
+/// E_j, eq. (4.8).
+double recompense(double alpha, double computed, double actual_rate);
+
+/// Full evaluation of (4.5)-(4.9) and (4.6)/(4.13).
+PaymentBreakdown evaluate_payment(const PaymentInputs& in,
+                                  const MechanismConfig& config);
+
+}  // namespace dls::core

@@ -1,0 +1,62 @@
+#include "crypto/signed_claim.hpp"
+
+namespace dls::crypto {
+
+std::string to_string(ClaimKind kind) {
+  switch (kind) {
+    case ClaimKind::kEquivalentBid:
+      return "equivalent-bid";
+    case ClaimKind::kReceivedLoad:
+      return "received-load";
+    case ClaimKind::kBidRate:
+      return "bid-rate";
+    case ClaimKind::kMeteredRate:
+      return "metered-rate";
+    case ClaimKind::kLoadTokenCount:
+      return "load-token-count";
+  }
+  return "unknown";
+}
+
+codec::Bytes encode(const Claim& claim) {
+  codec::Writer w;
+  w.string("dls.claim.v1");
+  w.u8(static_cast<std::uint8_t>(claim.kind));
+  w.u32(claim.subject);
+  w.u64(claim.round);
+  w.f64(claim.value);
+  return w.take();
+}
+
+Claim decode_claim(std::span<const std::uint8_t> bytes) {
+  codec::Reader r(bytes);
+  const std::string magic = r.string();
+  if (magic != "dls.claim.v1") {
+    throw codec::DecodeError("bad claim magic: " + magic);
+  }
+  Claim claim;
+  claim.kind = static_cast<ClaimKind>(r.u8());
+  claim.subject = r.u32();
+  claim.round = r.u64();
+  claim.value = r.f64();
+  r.expect_done();
+  return claim;
+}
+
+SignedClaim make_signed(const Signer& signer, const Claim& claim) {
+  const codec::Bytes body = encode(claim);
+  return SignedClaim{claim, signer.id(), signer.sign(body)};
+}
+
+bool verify(const KeyRegistry& registry, const SignedClaim& sc) noexcept {
+  const codec::Bytes body = encode(sc.claim);
+  return registry.verify(sc.signer, body, sc.sig);
+}
+
+bool contradicts(const SignedClaim& a, const SignedClaim& b) noexcept {
+  return a.signer == b.signer && a.claim.kind == b.claim.kind &&
+         a.claim.subject == b.claim.subject &&
+         a.claim.round == b.claim.round && a.claim.value != b.claim.value;
+}
+
+}  // namespace dls::crypto

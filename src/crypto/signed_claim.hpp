@@ -1,0 +1,70 @@
+// Digitally signed scalar claims — the paper's dsm_i(m).
+//
+// Every value exchanged by the DLS-LBL protocol (bids w̄_i, received-load
+// fractions D_j, bid rates w_j, metered rates w̃_j) is a *claim*: a typed,
+// scalar statement about a subject processor in a given protocol round.
+// Signing the canonical encoding binds kind/subject/round/value together,
+// which is what lets the root arbitrate "contradictory messages": two
+// valid signatures by the same signer over the same (kind, subject, round)
+// with different values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "codec/bytes.hpp"
+#include "crypto/pki.hpp"
+
+namespace dls::crypto {
+
+/// Claim categories used by the protocol.
+enum class ClaimKind : std::uint8_t {
+  kEquivalentBid = 1,  ///< w̄_i, the equivalent processing time bid (Phase I)
+  kReceivedLoad = 2,   ///< D_j, fraction of load arriving at P_j (Phase II)
+  kBidRate = 3,        ///< w_j, the per-unit processing time bid (Phase II)
+  kMeteredRate = 4,    ///< w̃_j, actual rate reported by the meter (Phase IV)
+  kLoadTokenCount = 5, ///< |Λ_j|, number of data tokens received (Phase III)
+};
+
+/// Human-readable name for diagnostics.
+std::string to_string(ClaimKind kind);
+
+/// A typed scalar statement about processor `subject` in protocol round
+/// `round`.
+struct Claim {
+  ClaimKind kind{};
+  AgentId subject = 0;
+  std::uint64_t round = 0;
+  double value = 0.0;
+
+  bool operator==(const Claim&) const = default;
+};
+
+/// Canonical byte encoding (the string that gets signed).
+codec::Bytes encode(const Claim& claim);
+
+/// Decodes; throws codec::DecodeError on malformed input.
+Claim decode_claim(std::span<const std::uint8_t> bytes);
+
+/// dsm_signer(claim) = (claim, sig_signer(encode(claim))).
+struct SignedClaim {
+  Claim claim;
+  AgentId signer = 0;
+  Signature sig;
+
+  bool operator==(const SignedClaim&) const = default;
+};
+
+/// Signs `claim` under the signer's key.
+SignedClaim make_signed(const Signer& signer, const Claim& claim);
+
+/// True iff the signature verifies against the registered key of
+/// `sc.signer` over the canonical encoding of `sc.claim`.
+bool verify(const KeyRegistry& registry, const SignedClaim& sc) noexcept;
+
+/// True when `a` and `b` are *contradictory* in the paper's sense: same
+/// signer, same (kind, subject, round), both valid signatures, different
+/// values. Validity must be checked by the caller first.
+bool contradicts(const SignedClaim& a, const SignedClaim& b) noexcept;
+
+}  // namespace dls::crypto

@@ -1,0 +1,208 @@
+#include "dlt/affine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "dlt/piecewise.hpp"
+
+namespace dls::dlt {
+
+namespace {
+
+/// The "equalise" option as a function of L, built parametrically from
+/// the suffix function: for forwarded load u,
+///   L(u) = u + (z u + T_next(u) − s) / w,
+///   h(u) = z u + T_next(u).
+/// The balance requires the retained share k = L − u to be >= 0, i.e.
+/// z u + T_next(u) >= s; below l_first = L(u_lo) the option is extended
+/// CONSTANTLY at h(u_lo):
+///  * when u_lo > 0 (T_next(0) < s), that constant equals s, which is
+///    the true limit of the compute option there (pay the startup,
+///    compute ~nothing, forward the rest);
+///  * when u_lo = 0, the constant is T_next(0) >= the keep-all value on
+///    that range, so it is dominated in the min and merely harmless.
+/// Never uses infinity sentinels — interpolating across a near-vertical
+/// sentinel ramp is numerically catastrophic.
+PiecewiseLinear equalise_option(const PiecewiseLinear& next, double s,
+                                double w, double z, bool* feasible) {
+  auto rhs = [&](double u) { return z * u + next(u); };
+  auto l_of = [&](double u) { return u + (rhs(u) - s) / w; };
+
+  // Feasibility in u: rhs increasing; find u_lo with rhs(u_lo) = s.
+  double u_lo = 0.0;
+  if (rhs(0.0) < s) {
+    if (rhs(1.0) < s) {
+      *feasible = false;
+      return PiecewiseLinear::affine(0.0, 0.0, 0.0, 1.0);
+    }
+    double a = 0.0, b = 1.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      const double mid = 0.5 * (a + b);
+      (rhs(mid) < s ? a : b) = mid;
+    }
+    u_lo = b;
+  }
+  if (l_of(u_lo) >= 1.0) {
+    *feasible = false;
+    return PiecewiseLinear::affine(0.0, 0.0, 0.0, 1.0);
+  }
+  // L(u) is increasing and, whenever the option is feasible at all,
+  // reaches 1 within u in [u_lo, 1] (rhs(1) >= s implies l_of(1) >= 1).
+  double u_hi;
+  {
+    double a = u_lo, b = 1.0;
+    if (l_of(1.0) <= 1.0) {
+      u_hi = 1.0;
+    } else {
+      for (int iter = 0; iter < 100; ++iter) {
+        const double mid = 0.5 * (a + b);
+        (l_of(mid) <= 1.0 ? a : b) = mid;
+      }
+      u_hi = a;
+    }
+  }
+
+  // Sample at the suffix function's breakpoints within [u_lo, u_hi].
+  std::vector<double> us = {u_lo};
+  for (const auto& p : next.points()) {
+    if (p.x > u_lo + 1e-15 && p.x < u_hi - 1e-15) us.push_back(p.x);
+  }
+  us.push_back(u_hi);
+
+  std::vector<PiecewiseLinear::Point> pts;
+  const double l_first = std::clamp(l_of(u_lo), 0.0, 1.0);
+  if (l_first > 1e-12) {
+    pts.push_back({0.0, rhs(u_lo)});  // constant extension (see above)
+  }
+  double last_x = pts.empty() ? -1.0 : pts.back().x;
+  for (const double u : us) {
+    const double x = std::clamp(l_of(u), 0.0, 1.0);
+    if (x <= last_x + 1e-14) continue;
+    pts.push_back({x, rhs(u)});
+    last_x = x;
+  }
+  if (last_x < 1.0) {
+    pts.push_back({1.0, rhs(u_hi)});  // defensive constant extension
+  }
+  if (pts.size() < 2) {
+    *feasible = false;
+    return PiecewiseLinear::affine(0.0, 0.0, 0.0, 1.0);
+  }
+  *feasible = true;
+  return PiecewiseLinear(std::move(pts));
+}
+
+}  // namespace
+
+AffineChainSolution solve_linear_boundary_affine(
+    const net::LinearNetwork& network,
+    std::span<const double> compute_startup) {
+  const std::size_t n = network.size();
+  DLS_REQUIRE(compute_startup.size() == n, "one startup per processor");
+  for (const double s : compute_startup) {
+    DLS_REQUIRE(s >= 0.0, "startups must be non-negative");
+  }
+
+  // Backward pass: T_i(L) on [0, 1].
+  std::vector<PiecewiseLinear> suffix;
+  suffix.reserve(n);
+  suffix.push_back(PiecewiseLinear::affine(compute_startup[n - 1],
+                                           network.w(n - 1), 0.0, 1.0));
+  for (std::size_t i = n - 1; i-- > 0;) {
+    const PiecewiseLinear& next = suffix.back();
+    const double s = compute_startup[i];
+    const double w = network.w(i);
+    const double z = network.z(i + 1);
+    // keep-all
+    PiecewiseLinear best = PiecewiseLinear::affine(s, w, 0.0, 1.0);
+    // skip (pure relay)
+    best = PiecewiseLinear::min(best, next.plus_affine(0.0, z));
+    // equalise
+    bool feasible = false;
+    const PiecewiseLinear eq = equalise_option(next, s, w, z, &feasible);
+    if (feasible) best = PiecewiseLinear::min(best, eq);
+    best.simplify();
+    suffix.push_back(std::move(best));
+  }
+  // suffix[k] corresponds to processor n-1-k.
+  auto t_of = [&](std::size_t i) -> const PiecewiseLinear& {
+    return suffix[n - 1 - i];
+  };
+
+  AffineChainSolution sol;
+  sol.alpha.assign(n, 0.0);
+  sol.computes.assign(n, false);
+  sol.makespan = t_of(0)(1.0);
+
+  // Forward reconstruction.
+  double load = 1.0;
+  for (std::size_t i = 0; i < n && load > 1e-15; ++i) {
+    const double s = compute_startup[i];
+    const double w = network.w(i);
+    if (i + 1 == n) {
+      sol.alpha[i] = load;
+      sol.computes[i] = true;
+      break;
+    }
+    const double z = network.z(i + 1);
+    const PiecewiseLinear& next = t_of(i + 1);
+    const double keep_all = s + w * load;
+    const double skip = z * load + next(load);
+    // equalise: root of f(u) = s + (load-u) w − z u − next(u) over
+    // u in [0, load]; f is strictly decreasing.
+    double equalise = std::numeric_limits<double>::infinity();
+    double k_eq = 0.0;
+    auto f = [&](double u) { return s + (load - u) * w - z * u - next(u); };
+    if (f(0.0) >= 0.0 && f(load) <= 0.0) {
+      double a = 0.0, b = load;
+      for (int iter = 0; iter < 200; ++iter) {
+        const double mid = 0.5 * (a + b);
+        (f(mid) >= 0.0 ? a : b) = mid;
+      }
+      const double u = 0.5 * (a + b);
+      k_eq = load - u;
+      equalise = s + k_eq * w;
+    }
+    const double best = std::min({keep_all, skip, equalise});
+    if (best == keep_all) {
+      sol.alpha[i] = load;
+      sol.computes[i] = true;
+      load = 0.0;
+    } else if (best == skip) {
+      sol.alpha[i] = 0.0;
+    } else {
+      sol.alpha[i] = k_eq;
+      sol.computes[i] = k_eq > 0.0;
+      load -= k_eq;
+    }
+  }
+  for (const bool c : sol.computes) sol.participants += c ? 1 : 0;
+  return sol;
+}
+
+std::vector<double> affine_finish_times(
+    const net::LinearNetwork& network,
+    std::span<const double> compute_startup, std::span<const double> alpha) {
+  const std::size_t n = network.size();
+  DLS_REQUIRE(compute_startup.size() == n && alpha.size() == n,
+              "vector sizes must match the network");
+  std::vector<double> t(n, 0.0);
+  double assigned = alpha[0];
+  if (alpha[0] > 0.0) {
+    t[0] = compute_startup[0] + alpha[0] * network.w(0);
+  }
+  double arrival = 0.0;
+  for (std::size_t j = 1; j < n; ++j) {
+    const double transiting = 1.0 - assigned;  // D_j
+    arrival += transiting * network.z(j);
+    if (alpha[j] > 0.0) {
+      t[j] = arrival + compute_startup[j] + alpha[j] * network.w(j);
+    }
+    assigned += alpha[j];
+  }
+  return t;
+}
+
+}  // namespace dls::dlt

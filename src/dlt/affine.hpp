@@ -1,0 +1,46 @@
+// LINEAR BOUNDARY-AFFINE: the chain scheduling problem under an *affine*
+// cost model — each processor pays a fixed compute startup s_i on top of
+// the linear term α_i w_i. The paper names its problem LINEAR
+// BOUNDARY-LINEAR precisely because the cost model is a free parameter;
+// this module supplies the affine variant the naming scheme implies.
+//
+// With startups, Theorem 2.1 breaks: full participation stops being
+// optimal once a processor's startup outweighs its marginal help, so the
+// solver must also decide WHO computes. It runs an exact dynamic program
+// over suffixes: T_i(L) = minimal completion time of the suffix
+// (P_i..P_m) when P_i holds load L, as a piecewise-affine function of L,
+// combining three options per processor —
+//   keep-all:   s_i + w_i L                       (truncate the chain)
+//   skip:       z_{i+1} L + T_{i+1}(L)            (pure relay, no compute)
+//   equalise:   s_i + k w_i with s_i + k w_i = z_{i+1}(L-k) + T_{i+1}(L-k)
+// — and taking the pointwise minimum. With s = 0 the equalise option
+// always wins and the recursion reduces exactly to Algorithm 1.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/networks.hpp"
+
+namespace dls::dlt {
+
+struct AffineChainSolution {
+  std::vector<double> alpha;     ///< load shares (0 for non-participants)
+  std::vector<bool> computes;    ///< whether P_i pays its startup
+  double makespan = 0.0;
+  std::size_t participants = 0;  ///< number of computing processors
+};
+
+/// Solves the affine chain. `compute_startup` has one entry per
+/// processor, each >= 0. Startups of exactly 0 reproduce Algorithm 1.
+AffineChainSolution solve_linear_boundary_affine(
+    const net::LinearNetwork& network,
+    std::span<const double> compute_startup);
+
+/// Finish times under the affine model: T_0 = [α_0>0](s_0 + α_0 w_0),
+/// T_j = Σ_{k<=j} D_k z_k + s_j + α_j w_j for participants, 0 otherwise.
+std::vector<double> affine_finish_times(
+    const net::LinearNetwork& network,
+    std::span<const double> compute_startup, std::span<const double> alpha);
+
+}  // namespace dls::dlt

@@ -1,0 +1,49 @@
+#include "dlt/baselines.hpp"
+
+#include "common/error.hpp"
+#include "dlt/linear.hpp"
+
+namespace dls::dlt {
+
+std::vector<double> baseline_equal(std::size_t processors) {
+  DLS_REQUIRE(processors >= 1, "need at least one processor");
+  return std::vector<double>(processors,
+                             1.0 / static_cast<double>(processors));
+}
+
+std::vector<double> baseline_speed_proportional(
+    const net::LinearNetwork& network) {
+  std::vector<double> alpha(network.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < network.size(); ++i) {
+    alpha[i] = 1.0 / network.w(i);
+    total += alpha[i];
+  }
+  for (double& a : alpha) a /= total;
+  return alpha;
+}
+
+std::vector<double> baseline_root_only(std::size_t processors) {
+  DLS_REQUIRE(processors >= 1, "need at least one processor");
+  std::vector<double> alpha(processors, 0.0);
+  alpha[0] = 1.0;
+  return alpha;
+}
+
+std::vector<double> baseline_prefix_optimal(const net::LinearNetwork& network,
+                                            std::size_t k) {
+  DLS_REQUIRE(k >= 1 && k <= network.size(), "prefix length out of range");
+  std::vector<double> w(network.processing_times().begin(),
+                        network.processing_times().begin() +
+                            static_cast<std::ptrdiff_t>(k));
+  std::vector<double> z(network.link_times().begin(),
+                        network.link_times().begin() +
+                            static_cast<std::ptrdiff_t>(k - 1));
+  const net::LinearNetwork prefix(std::move(w), std::move(z));
+  const LinearSolution sol = solve_linear_boundary(prefix);
+  std::vector<double> alpha(network.size(), 0.0);
+  for (std::size_t i = 0; i < k; ++i) alpha[i] = sol.alpha[i];
+  return alpha;
+}
+
+}  // namespace dls::dlt

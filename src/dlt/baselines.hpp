@@ -1,0 +1,29 @@
+// Baseline allocations for experiment THM2.1: policies a deployment might
+// naively use instead of Algorithm 1. All of them return a global
+// allocation vector compatible with dlt::finish_times.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/networks.hpp"
+
+namespace dls::dlt {
+
+/// Every processor gets 1/(m+1).
+std::vector<double> baseline_equal(std::size_t processors);
+
+/// Shares proportional to processing speed 1/w_i, ignoring link costs.
+std::vector<double> baseline_speed_proportional(
+    const net::LinearNetwork& network);
+
+/// The root computes everything itself (no distribution at all).
+std::vector<double> baseline_root_only(std::size_t processors);
+
+/// Optimal allocation restricted to the first `k` processors (the rest
+/// get zero): Algorithm 1 on the prefix chain. `k` in [1, m+1]. Used to
+/// show where adding more of the chain stops paying off.
+std::vector<double> baseline_prefix_optimal(const net::LinearNetwork& network,
+                                            std::size_t k);
+
+}  // namespace dls::dlt

@@ -1,0 +1,144 @@
+#include "dlt/interior.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dls::dlt {
+
+namespace {
+
+/// The left arm (P_{r-1}, ..., P_0) viewed as a boundary chain whose head
+/// is the root's left neighbour.
+net::LinearNetwork left_arm(const net::InteriorLinearNetwork& net) {
+  const std::size_t r = net.root();
+  std::vector<double> w(r);
+  std::vector<double> z(r - 1);
+  for (std::size_t i = 0; i < r; ++i) w[i] = net.w(r - 1 - i);
+  for (std::size_t j = 0; j + 1 < r; ++j) z[j] = net.z(r - 1 - j);
+  return net::LinearNetwork(std::move(w), std::move(z));
+}
+
+/// The right arm (P_{r+1}, ..., P_m) as a boundary chain.
+net::LinearNetwork right_arm(const net::InteriorLinearNetwork& net) {
+  const std::size_t r = net.root();
+  const std::size_t n = net.size();
+  std::vector<double> w(n - r - 1);
+  std::vector<double> z(n - r - 2);
+  for (std::size_t i = r + 1; i < n; ++i) w[i - r - 1] = net.w(i);
+  for (std::size_t j = r + 2; j < n; ++j) z[j - r - 2] = net.z(j);
+  return net::LinearNetwork(std::move(w), std::move(z));
+}
+
+struct Arm {
+  net::LinearNetwork chain;
+  LinearSolution solution;
+  double head_link;  ///< z from the root into the arm's head
+};
+
+}  // namespace
+
+InteriorSolution solve_linear_interior_ordered(
+    const net::InteriorLinearNetwork& network, ArmOrder order) {
+  const std::size_t r = network.root();
+  Arm left{left_arm(network), {}, network.z(r)};
+  Arm right{right_arm(network), {}, network.z(r + 1)};
+  left.solution = solve_linear_boundary(left.chain);
+  right.solution = solve_linear_boundary(right.chain);
+
+  const Arm& first = order == ArmOrder::kLeftFirst ? left : right;
+  const Arm& second = order == ArmOrder::kLeftFirst ? right : left;
+
+  // Unnormalised equal-finish split with the root share fixed at 1:
+  //   L_A = w_r / (z_A + W̄_A)
+  //   L_B = L_A · W̄_A / (z_B + W̄_B)   (from α_r w_r − L_A z_A = L_A W̄_A)
+  const double wa = first.solution.makespan;    // W̄ of the first arm
+  const double wb = second.solution.makespan;
+  const double root_share = 1.0;
+  const double la = network.w(r) / (first.head_link + wa);
+  const double lb = la * wa / (second.head_link + wb);
+  const double total = root_share + la + lb;
+
+  InteriorSolution sol;
+  sol.order = order;
+  sol.alpha.assign(network.size(), 0.0);
+  const double alpha_root = root_share / total;
+  sol.alpha[r] = alpha_root;
+  const double first_load = la / total;
+  const double second_load = lb / total;
+  sol.makespan = alpha_root * network.w(r);
+
+  auto scatter = [&](const Arm& arm, double load, bool is_left) {
+    const auto& a = arm.solution.alpha;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      const std::size_t pos = is_left ? r - 1 - k : r + 1 + k;
+      sol.alpha[pos] = load * a[k];
+    }
+  };
+  const bool first_is_left = order == ArmOrder::kLeftFirst;
+  scatter(first, first_load, first_is_left);
+  scatter(second, second_load, !first_is_left);
+  sol.left_load = first_is_left ? first_load : second_load;
+  sol.right_load = first_is_left ? second_load : first_load;
+  return sol;
+}
+
+InteriorSolution solve_linear_interior(
+    const net::InteriorLinearNetwork& network) {
+  const InteriorSolution lf =
+      solve_linear_interior_ordered(network, ArmOrder::kLeftFirst);
+  const InteriorSolution rf =
+      solve_linear_interior_ordered(network, ArmOrder::kRightFirst);
+  return lf.makespan <= rf.makespan ? lf : rf;
+}
+
+std::vector<double> interior_finish_times(
+    const net::InteriorLinearNetwork& network,
+    const InteriorSolution& solution) {
+  const std::size_t r = network.root();
+  const std::size_t n = network.size();
+  DLS_REQUIRE(solution.alpha.size() == n, "allocation size mismatch");
+
+  std::vector<double> t(n, 0.0);
+  if (solution.alpha[r] > 0.0) t[r] = solution.alpha[r] * network.w(r);
+
+  // Rebuild per-arm unit allocations from the global vector.
+  auto arm_times = [&](bool is_left, double load, double start) {
+    if (load <= 0.0) return;
+    const std::size_t len = is_left ? r : n - r - 1;
+    std::vector<double> w(len), beta(len);
+    std::vector<double> z(len - 1);
+    for (std::size_t k = 0; k < len; ++k) {
+      const std::size_t pos = is_left ? r - 1 - k : r + 1 + k;
+      w[k] = network.w(pos);
+      beta[k] = solution.alpha[pos] / load;
+    }
+    for (std::size_t k = 0; k + 1 < len; ++k) {
+      const std::size_t j = is_left ? r - 1 - k : r + 2 + k;
+      z[k] = network.z(j);
+    }
+    const net::LinearNetwork chain(std::move(w), std::move(z));
+    const double head_z = is_left ? network.z(r) : network.z(r + 1);
+    const std::vector<double> f = finish_times(chain, beta);
+    // The head holds its bulk at start + load*head_z; the arm then runs
+    // like a unit-load boundary chain scaled by `load`.
+    const double offset = start + load * head_z;
+    for (std::size_t k = 0; k < len; ++k) {
+      const std::size_t pos = is_left ? r - 1 - k : r + 1 + k;
+      t[pos] = beta[k] > 0.0 ? offset + load * f[k] : 0.0;
+    }
+  };
+
+  const bool left_first = solution.order == ArmOrder::kLeftFirst;
+  const double first_load =
+      left_first ? solution.left_load : solution.right_load;
+  const double second_load =
+      left_first ? solution.right_load : solution.left_load;
+  const double first_z =
+      left_first ? network.z(r) : network.z(r + 1);
+  arm_times(left_first, first_load, 0.0);
+  arm_times(!left_first, second_load, first_load * first_z);
+  return t;
+}
+
+}  // namespace dls::dlt

@@ -1,0 +1,46 @@
+// Linear networks with *interior* load origination — the second variant
+// named in Sect. 2 and listed as future work in the paper's conclusion.
+//
+// The root holds the load and has two arms. Under the one-port model it
+// first ships the whole allocation of one arm, then the other; each arm
+// is a boundary-origination chain whose head behaves like a chain root
+// once its bulk transfer completes. Collapsing each arm to an equivalent
+// processor (eqs. 2.3-2.4) reduces the problem to a three-way split
+// (root, first arm, second arm) with the equal-finish condition
+//   α_r w_r = L_A (z_A + W̄_A) = L_A z_A + L_B (z_B + W̄_B).
+// Both service orders are evaluated and the better one is kept.
+#pragma once
+
+#include <vector>
+
+#include "dlt/linear.hpp"
+#include "net/networks.hpp"
+
+namespace dls::dlt {
+
+/// Which arm the root serves first.
+enum class ArmOrder { kLeftFirst, kRightFirst };
+
+struct InteriorSolution {
+  std::vector<double> alpha;   ///< per-processor fractions, network indexing
+  double left_load = 0.0;      ///< total load shipped into the left arm
+  double right_load = 0.0;     ///< total load shipped into the right arm
+  ArmOrder order = ArmOrder::kLeftFirst;
+  double makespan = 0.0;
+};
+
+/// Optimal split for a fixed service order.
+InteriorSolution solve_linear_interior_ordered(
+    const net::InteriorLinearNetwork& network, ArmOrder order);
+
+/// Tries both service orders, returns the faster schedule.
+InteriorSolution solve_linear_interior(
+    const net::InteriorLinearNetwork& network);
+
+/// Finish times for a solution (same semantics as dlt::finish_times:
+/// non-participants report 0). Index = original network position.
+std::vector<double> interior_finish_times(
+    const net::InteriorLinearNetwork& network,
+    const InteriorSolution& solution);
+
+}  // namespace dls::dlt

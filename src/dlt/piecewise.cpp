@@ -1,0 +1,97 @@
+#include "dlt/piecewise.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace dls::dlt {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<Point> points)
+    : points_(std::move(points)) {
+  DLS_REQUIRE(!points_.empty(), "piecewise function needs breakpoints");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    DLS_REQUIRE(points_[i].x > points_[i - 1].x,
+                "breakpoints must be strictly increasing");
+  }
+}
+
+PiecewiseLinear PiecewiseLinear::affine(double intercept, double slope,
+                                        double lo, double hi) {
+  DLS_REQUIRE(lo < hi, "affine domain must be non-degenerate");
+  return PiecewiseLinear(
+      {{lo, intercept + slope * lo}, {hi, intercept + slope * hi}});
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  if (points_.size() == 1) return points_.front().y;
+  x = std::clamp(x, domain_lo(), domain_hi());
+  // First breakpoint with x_i >= x.
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), x,
+      [](const Point& p, double value) { return p.x < value; });
+  if (it == points_.begin()) return it->y;
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  const double t = (x - lo.x) / (hi.x - lo.x);
+  return lo.y + t * (hi.y - lo.y);
+}
+
+PiecewiseLinear PiecewiseLinear::min(const PiecewiseLinear& a,
+                                     const PiecewiseLinear& b) {
+  DLS_REQUIRE(std::abs(a.domain_lo() - b.domain_lo()) < 1e-12 &&
+                  std::abs(a.domain_hi() - b.domain_hi()) < 1e-12,
+              "min requires a shared domain");
+  // Candidate x values: all breakpoints of both, plus crossings within
+  // each pair of bracketing breakpoints.
+  std::set<double> xs;
+  for (const auto& p : a.points()) xs.insert(p.x);
+  for (const auto& p : b.points()) xs.insert(p.x);
+  std::vector<double> grid(xs.begin(), xs.end());
+  std::vector<Point> merged;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const double x = grid[i];
+    merged.push_back({x, std::min(a(x), b(x))});
+    if (i + 1 == grid.size()) continue;
+    // A crossing inside (x, x_next)?
+    const double x2 = grid[i + 1];
+    const double d1 = a(x) - b(x);
+    const double d2 = a(x2) - b(x2);
+    if (d1 * d2 < 0.0) {
+      const double t = d1 / (d1 - d2);
+      const double xc = x + t * (x2 - x);
+      if (xc > x + 1e-15 && xc < x2 - 1e-15) {
+        merged.push_back({xc, std::min(a(xc), b(xc))});
+      }
+    }
+  }
+  PiecewiseLinear out(std::move(merged));
+  out.simplify();
+  return out;
+}
+
+PiecewiseLinear PiecewiseLinear::plus_affine(double intercept,
+                                             double slope) const {
+  std::vector<Point> points = points_;
+  for (auto& p : points) p.y += intercept + slope * p.x;
+  return PiecewiseLinear(std::move(points));
+}
+
+void PiecewiseLinear::simplify(double tol) {
+  if (points_.size() < 3) return;
+  std::vector<Point> kept;
+  kept.push_back(points_.front());
+  for (std::size_t i = 1; i + 1 < points_.size(); ++i) {
+    const Point& prev = kept.back();
+    const Point& cur = points_[i];
+    const Point& next = points_[i + 1];
+    const double t = (cur.x - prev.x) / (next.x - prev.x);
+    const double on_line = prev.y + t * (next.y - prev.y);
+    if (std::abs(on_line - cur.y) > tol) kept.push_back(cur);
+  }
+  kept.push_back(points_.back());
+  points_ = std::move(kept);
+}
+
+}  // namespace dls::dlt

@@ -1,0 +1,54 @@
+// Exact piecewise-linear (affine-segment) functions on a closed interval
+// [0, L_max] — the value representation behind the affine-cost DLT solver
+// (dlt/affine.hpp). Functions are continuous and stored as ordered
+// breakpoints; the operations the dynamic program needs are evaluation,
+// pointwise minimum, and affine reparameterisations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dls::dlt {
+
+/// A continuous piecewise-affine function given by its breakpoints
+/// (x_0 < x_1 < ... < x_k, with values y_i); affine interpolation between
+/// neighbours. Defined on [x_front, x_back].
+class PiecewiseLinear {
+ public:
+  struct Point {
+    double x;
+    double y;
+  };
+
+  /// Builds from breakpoints; x must be strictly increasing, size >= 2
+  /// (or exactly 1 for a degenerate single-point domain).
+  explicit PiecewiseLinear(std::vector<Point> points);
+
+  /// The affine function y = intercept + slope * x on [lo, hi].
+  static PiecewiseLinear affine(double intercept, double slope, double lo,
+                                double hi);
+
+  double domain_lo() const noexcept { return points_.front().x; }
+  double domain_hi() const noexcept { return points_.back().x; }
+
+  /// Evaluates at x (clamped into the domain).
+  double operator()(double x) const;
+
+  /// Pointwise minimum of two functions sharing a domain.
+  static PiecewiseLinear min(const PiecewiseLinear& a,
+                             const PiecewiseLinear& b);
+
+  /// Returns g with g(x) = f(x) + intercept + slope * x.
+  PiecewiseLinear plus_affine(double intercept, double slope) const;
+
+  const std::vector<Point>& points() const noexcept { return points_; }
+
+  /// Drops interior breakpoints that lie on the segment between their
+  /// neighbours (within tol).
+  void simplify(double tol = 1e-12);
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace dls::dlt

@@ -1,0 +1,98 @@
+#include "dlt/star.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dls::dlt {
+
+StarSolution solve_star_ordered(const net::StarNetwork& network,
+                                std::vector<std::size_t> order) {
+  const std::size_t m = network.workers();
+  DLS_REQUIRE(order.size() == m, "order must cover every worker");
+  {
+    std::vector<bool> seen(m, false);
+    for (const std::size_t i : order) {
+      DLS_REQUIRE(i < m && !seen[i], "order must be a permutation");
+      seen[i] = true;
+    }
+  }
+
+  // Unnormalised shares: the first participant gets 1; each later one is
+  // scaled by the equal-finish recursion. The root (if computing) acts as
+  // participant 0 with no link cost.
+  std::vector<double> shares;          // aligned with participants
+  shares.reserve(m + 1);
+  double prev_share;
+  double prev_w;
+  std::size_t first_worker = 0;
+  double root_share = 0.0;
+  if (network.root_computes()) {
+    root_share = 1.0;
+    prev_share = 1.0;
+    prev_w = network.root_w();
+  } else {
+    const std::size_t w0 = order[0];
+    shares.push_back(1.0);
+    prev_share = 1.0;
+    prev_w = network.w(w0);
+    first_worker = 1;
+  }
+  // For the first worker after the root: α_1 (z_1 + w_1) = α_0 w_0.
+  for (std::size_t k = first_worker; k < m; ++k) {
+    const std::size_t idx = order[k];
+    const double denom = network.z(idx) + network.w(idx);
+    const double share = prev_share * prev_w / denom;
+    shares.push_back(share);
+    prev_share = share;
+    prev_w = network.w(idx);
+  }
+
+  double total = root_share;
+  for (const double s : shares) total += s;
+  DLS_REQUIRE(total > 0.0, "degenerate star instance");
+
+  StarSolution sol;
+  sol.order = std::move(order);
+  sol.alpha.assign(m, 0.0);
+  sol.alpha_root = root_share / total;
+  for (std::size_t k = 0; k < shares.size(); ++k) {
+    sol.alpha[sol.order[k]] = shares[k] / total;
+  }
+  // Makespan: root share if it computes, else first worker's finish.
+  if (network.root_computes()) {
+    sol.makespan = sol.alpha_root * network.root_w();
+  } else {
+    const std::size_t f = sol.order[0];
+    sol.makespan = sol.alpha[f] * (network.z(f) + network.w(f));
+  }
+  return sol;
+}
+
+StarSolution solve_star(const net::StarNetwork& network) {
+  return solve_star_ordered(network, network.order_by_link_speed());
+}
+
+StarSolution solve_bus(const net::BusNetwork& network) {
+  return solve_star(network.as_star());
+}
+
+std::vector<double> star_finish_times(const net::StarNetwork& network,
+                                      const StarSolution& solution) {
+  const std::size_t m = network.workers();
+  DLS_REQUIRE(solution.alpha.size() == m, "allocation/worker count mismatch");
+  std::vector<double> t(m + 1, 0.0);
+  if (network.root_computes()) {
+    t[0] = solution.alpha_root * network.root_w();
+  }
+  double clock = 0.0;  // one-port: transmissions are sequential
+  for (const std::size_t idx : solution.order) {
+    const double a = solution.alpha[idx];
+    if (a <= 0.0) continue;
+    clock += a * network.z(idx);
+    t[idx + 1] = clock + a * network.w(idx);
+  }
+  return t;
+}
+
+}  // namespace dls::dlt

@@ -1,0 +1,44 @@
+// Optimal divisible-load allocation on single-level star and bus
+// networks — the topologies of the authors' companion mechanisms [9, 14],
+// used here as cross-network baselines (experiment XNET).
+//
+// Model: the root holds the unit load and serves workers one at a time
+// over their dedicated links (one-port). Worker k (in service order)
+// starts receiving when worker k-1's transmission ends, receives α_k z_k,
+// then computes α_k w_k. With a linear cost model the optimum again has
+// every participant finishing simultaneously, giving the chain of ratios
+//   α_{k+1} (z_{k+1} + w_{k+1}) = α_k w_k.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/networks.hpp"
+
+namespace dls::dlt {
+
+struct StarSolution {
+  double alpha_root = 0.0;          ///< root's own share (0 when it only serves)
+  std::vector<double> alpha;        ///< per-worker share, original indexing
+  std::vector<std::size_t> order;   ///< service order used
+  double makespan = 0.0;
+};
+
+/// Solves with the given service order (worker indices, each exactly once).
+StarSolution solve_star_ordered(const net::StarNetwork& network,
+                                std::vector<std::size_t> order);
+
+/// Solves with workers served fastest-link-first (the optimal order for
+/// this cost model).
+StarSolution solve_star(const net::StarNetwork& network);
+
+/// Bus = star with the shared channel time on every link.
+StarSolution solve_bus(const net::BusNetwork& network);
+
+/// Finish times of an arbitrary star allocation under the same service
+/// order; index 0 is the root (0 if it does not compute), worker k at
+/// index 1+k in *order* position.
+std::vector<double> star_finish_times(const net::StarNetwork& network,
+                                      const StarSolution& solution);
+
+}  // namespace dls::dlt

@@ -1,0 +1,107 @@
+#include "dlt/tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace dls::dlt {
+
+namespace {
+
+/// Children of `v` sorted by ascending link time.
+std::vector<std::size_t> service_order(const net::TreeNetwork& net,
+                                       std::size_t v) {
+  auto kids = net.children(v);
+  std::vector<std::size_t> order(kids.begin(), kids.end());
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return net.z(a) < net.z(b);
+                   });
+  return order;
+}
+
+}  // namespace
+
+TreeSolution solve_tree(const net::TreeNetwork& network) {
+  const std::size_t n = network.size();
+  TreeSolution sol;
+  sol.alpha.assign(n, 0.0);
+  sol.equivalent_w.assign(n, 0.0);
+  sol.received.assign(n, 0.0);
+  sol.local_keep.assign(n, 1.0);
+
+  // Per-node local star solutions (fraction kept + per-child fractions),
+  // filled during the post-order reduction. Nodes are numbered with
+  // parents before children, so a reverse index scan IS a post-order.
+  std::vector<std::vector<std::pair<std::size_t, double>>> child_share(n);
+  for (std::size_t v = n; v-- > 0;) {
+    const auto kids = network.children(v);
+    if (kids.empty()) {
+      sol.equivalent_w[v] = network.w(v);
+      sol.local_keep[v] = 1.0;
+      continue;
+    }
+    // Local star: v computes; each child subtree is an equivalent worker.
+    std::vector<double> worker_w, worker_z;
+    const std::vector<std::size_t> order = service_order(network, v);
+    worker_w.reserve(order.size());
+    worker_z.reserve(order.size());
+    for (const std::size_t c : order) {
+      worker_w.push_back(sol.equivalent_w[c]);
+      worker_z.push_back(network.z(c));
+    }
+    const net::StarNetwork star(network.w(v), std::move(worker_w),
+                                std::move(worker_z));
+    // Workers are already in service order (ascending link time), and
+    // StarNetwork::order_by_link_speed is stable, so solve_star serves
+    // them exactly in `order`.
+    const StarSolution local = solve_star(star);
+    sol.equivalent_w[v] = local.makespan;
+    sol.local_keep[v] = local.alpha_root;
+    child_share[v].reserve(order.size());
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      child_share[v].emplace_back(order[k], local.alpha[k]);
+    }
+  }
+
+  // Pre-order unroll (parents precede children in index order).
+  sol.received[0] = 1.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const double load = sol.received[v];
+    sol.alpha[v] = load * sol.local_keep[v];
+    for (const auto& [child, share] : child_share[v]) {
+      sol.received[child] = load * share;
+    }
+  }
+  sol.makespan = sol.equivalent_w[0];
+  return sol;
+}
+
+std::vector<double> tree_finish_times(const net::TreeNetwork& network,
+                                      const TreeSolution& solution) {
+  const std::size_t n = network.size();
+  DLS_REQUIRE(solution.alpha.size() == n, "solution size mismatch");
+  std::vector<double> finish(n, 0.0);
+  std::vector<double> hold_time(n, 0.0);  // when v owns its bulk
+
+  for (std::size_t v = 0; v < n; ++v) {
+    const double load = solution.received[v];
+    if (solution.alpha[v] > 0.0) {
+      finish[v] = hold_time[v] + solution.alpha[v] * network.w(v);
+    }
+    // One-port: children are served sequentially, fastest link first
+    // (the order solve_tree used).
+    double clock = hold_time[v];
+    for (const std::size_t c : service_order(network, v)) {
+      const double child_load = solution.received[c];
+      if (child_load <= 0.0) continue;
+      clock += child_load * network.z(c);
+      hold_time[c] = clock;
+    }
+    (void)load;
+  }
+  return finish;
+}
+
+}  // namespace dls::dlt

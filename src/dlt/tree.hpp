@@ -1,0 +1,40 @@
+// Optimal divisible-load allocation on tree networks by recursive
+// star reduction — the algorithm family of the authors' companion tree
+// mechanism [9].
+//
+// Post-order pass: each subtree collapses into an equivalent processor.
+// A node with children (already collapsed to equivalent unit times ρ_c)
+// is exactly a computing-root star; its optimal per-unit completion time
+// ρ_v is the star makespan, computed with children served fastest link
+// first. Pre-order pass: the local star fractions unroll into global
+// load shares. At the optimum every node of the tree finishes at the
+// same instant — the tree generalisation of Theorem 2.1.
+#pragma once
+
+#include <vector>
+
+#include "dlt/star.hpp"
+#include "net/tree.hpp"
+
+namespace dls::dlt {
+
+struct TreeSolution {
+  std::vector<double> alpha;        ///< global share per node (Σ = 1)
+  std::vector<double> equivalent_w; ///< ρ_v: unit time of v's subtree
+  std::vector<double> received;     ///< load arriving at node v
+  /// Local star split at each node: fraction of the arriving load the
+  /// node keeps for itself (the rest goes to its children).
+  std::vector<double> local_keep;
+  double makespan = 0.0;            ///< = ρ_root (unit load at the root)
+};
+
+/// Solves the tree. Children are served fastest-link-first at every node.
+TreeSolution solve_tree(const net::TreeNetwork& network);
+
+/// Finish times of the solution's schedule (one-port sequential sends per
+/// node, front-end overlap, store-and-forward), computed by direct
+/// recursive evaluation — used to validate the equal-finish property.
+std::vector<double> tree_finish_times(const net::TreeNetwork& network,
+                                      const TreeSolution& solution);
+
+}  // namespace dls::dlt

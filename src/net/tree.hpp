@@ -1,0 +1,64 @@
+// Tree networks — the topology of the authors' companion mechanism
+// "A Strategyproof Mechanism for Scheduling Divisible Loads in Tree
+// Networks" [9]. The linear chain (unary tree) and the star (depth-1
+// tree) are degenerate cases, which gives strong cross-checks against
+// the other solvers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dls::net {
+
+/// A rooted tree of processors. Node 0 is the root and originates the
+/// load; node i > 0 has a parent and a link of unit time z_i from it.
+class TreeNetwork {
+ public:
+  /// `w[i]` — unit processing time of node i (> 0);
+  /// `z[i]` — unit link time from parent(i) to i (> 0; z[0] is ignored);
+  /// `parent[i]` — parent of node i (parent[0] is ignored). Parents must
+  /// precede children (parent[i] < i), which guarantees a valid tree.
+  TreeNetwork(std::vector<double> w, std::vector<double> z,
+              std::vector<std::size_t> parent);
+
+  std::size_t size() const noexcept { return w_.size(); }
+  double w(std::size_t i) const;
+  double z(std::size_t i) const;
+  std::size_t parent(std::size_t i) const;
+  std::span<const std::size_t> children(std::size_t i) const;
+  bool is_leaf(std::size_t i) const { return children(i).empty(); }
+
+  /// Number of edges on the path from the root to i.
+  std::size_t depth(std::size_t i) const;
+  /// max over depth(i).
+  std::size_t height() const;
+
+  /// A path P0 - P1 - ... - P{n-1} (matches a LinearNetwork).
+  static TreeNetwork chain(std::vector<double> w, std::vector<double> z);
+
+  /// Root plus `m` children over dedicated links (matches a computing-
+  /// root StarNetwork).
+  static TreeNetwork star(double root_w, std::vector<double> worker_w,
+                          std::vector<double> worker_z);
+
+  /// Complete `arity`-ary tree with `levels` levels below the root,
+  /// uniform rates.
+  static TreeNetwork balanced(std::size_t arity, std::size_t levels,
+                              double w, double z);
+
+  /// Random tree on `nodes` nodes: each new node attaches to a uniformly
+  /// random earlier node; rates log-uniform.
+  static TreeNetwork random(std::size_t nodes, common::Rng& rng, double w_lo,
+                            double w_hi, double z_lo, double z_hi);
+
+ private:
+  std::vector<double> w_;
+  std::vector<double> z_;
+  std::vector<std::size_t> parent_;
+  std::vector<std::vector<std::size_t>> children_;
+};
+
+}  // namespace dls::net

@@ -1,0 +1,100 @@
+#include "payment/ledger.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace dls::payment {
+
+std::string to_string(TransferKind kind) {
+  switch (kind) {
+    case TransferKind::kCompensation:
+      return "compensation";
+    case TransferKind::kRecompense:
+      return "recompense";
+    case TransferKind::kBonus:
+      return "bonus";
+    case TransferKind::kSolutionBonus:
+      return "solution-bonus";
+    case TransferKind::kFine:
+      return "fine";
+    case TransferKind::kReward:
+      return "reward";
+    case TransferKind::kAuditPenalty:
+      return "audit-penalty";
+    case TransferKind::kAdjustment:
+      return "adjustment";
+  }
+  return "unknown";
+}
+
+void Ledger::open_account(AccountId id) {
+  DLS_REQUIRE(id != kTreasury, "the treasury account is built in");
+  DLS_REQUIRE(!has_account(id), "account already open");
+  accounts_.emplace_back(id, 0.0);
+}
+
+bool Ledger::has_account(AccountId id) const noexcept {
+  if (id == kTreasury) return true;
+  return std::any_of(accounts_.begin(), accounts_.end(),
+                     [id](const auto& a) { return a.first == id; });
+}
+
+double& Ledger::balance_ref(AccountId id) {
+  if (id == kTreasury) return treasury_;
+  for (auto& [aid, bal] : accounts_) {
+    if (aid == id) return bal;
+  }
+  throw PreconditionError("unknown account " + std::to_string(id));
+}
+
+void Ledger::post(Transfer transfer) {
+  DLS_REQUIRE(std::isfinite(transfer.amount) && transfer.amount >= 0.0,
+              "transfer amount must be finite and non-negative");
+  double& from = balance_ref(transfer.from);
+  double& to = balance_ref(transfer.to);
+  from -= transfer.amount;
+  to += transfer.amount;
+  history_.push_back(std::move(transfer));
+}
+
+double Ledger::balance(AccountId id) const {
+  if (id == kTreasury) return treasury_;
+  for (const auto& [aid, bal] : accounts_) {
+    if (aid == id) return bal;
+  }
+  throw PreconditionError("unknown account " + std::to_string(id));
+}
+
+double Ledger::net_of_kind(AccountId id, TransferKind kind) const {
+  double net = 0.0;
+  for (const auto& t : history_) {
+    if (t.kind != kind) continue;
+    if (t.to == id) net += t.amount;
+    if (t.from == id) net -= t.amount;
+  }
+  return net;
+}
+
+double Ledger::conservation_residual() const noexcept {
+  double total = treasury_;
+  for (const auto& [id, bal] : accounts_) total += bal;
+  return total;
+}
+
+void Ledger::print(std::ostream& os) const {
+  os << "ledger: " << history_.size() << " transfers, treasury "
+     << treasury_ << '\n';
+  for (const auto& t : history_) {
+    os << "  " << to_string(t.kind) << ' ' << t.amount << " : ";
+    if (t.from == kTreasury) os << "treasury";
+    else os << 'P' << t.from;
+    os << " -> ";
+    if (t.to == kTreasury) os << "treasury";
+    else os << 'P' << t.to;
+    if (!t.memo.empty()) os << "  (" << t.memo << ')';
+    os << '\n';
+  }
+}
+
+}  // namespace dls::payment

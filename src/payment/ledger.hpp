@@ -1,0 +1,81 @@
+// The payment infrastructure the paper assumes: accounts for every
+// processor plus the mechanism's treasury, double-entry postings for
+// every transfer kind the mechanism makes (compensation, bonus, fines,
+// rewards, reimbursements, audit penalties), and a queryable history.
+//
+// Invariant: money is conserved — the sum of all balances (treasury
+// included) is zero at all times. Fines move money from a deviant to the
+// reporter through the treasury so both legs are on the books.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dls::payment {
+
+using AccountId = std::uint32_t;
+
+/// The mechanism's own account (source of payments, sink of fines).
+inline constexpr AccountId kTreasury = 0xffffffffu;
+
+enum class TransferKind : std::uint8_t {
+  kCompensation,   ///< C_j: reimbursement of processing cost
+  kRecompense,     ///< E_j: extra pay for dumped load absorbed
+  kBonus,          ///< B_j: the strategyproofness-inducing bonus
+  kSolutionBonus,  ///< S: reward for a verified solution (Thm 5.2 variant)
+  kFine,           ///< F (or F/q) taken from a deviant
+  kReward,         ///< F handed to the reporting processor
+  kAuditPenalty,   ///< F/q for failing a Phase IV proof challenge
+  kAdjustment,     ///< miscellaneous (tests, manual corrections)
+};
+
+std::string to_string(TransferKind kind);
+
+struct Transfer {
+  AccountId from = kTreasury;
+  AccountId to = kTreasury;
+  TransferKind kind = TransferKind::kAdjustment;
+  double amount = 0.0;  ///< always >= 0; direction is from -> to
+  std::string memo;
+};
+
+class Ledger {
+ public:
+  /// Opens an account with zero balance; reopening is an error.
+  void open_account(AccountId id);
+  bool has_account(AccountId id) const noexcept;
+
+  /// Posts a transfer; both accounts must exist (kTreasury always does)
+  /// and the amount must be non-negative and finite.
+  void post(Transfer transfer);
+
+  double balance(AccountId id) const;
+  double treasury_balance() const noexcept { return treasury_; }
+
+  /// Net amount account `id` has received of the given kind (credits
+  /// minus debits).
+  double net_of_kind(AccountId id, TransferKind kind) const;
+
+  const std::vector<Transfer>& history() const noexcept { return history_; }
+
+  /// Sum of every balance including the treasury; 0 modulo rounding.
+  double conservation_residual() const noexcept;
+
+  /// The mechanism's net outlay (negative treasury balance).
+  double mechanism_outlay() const noexcept { return -treasury_; }
+
+  void print(std::ostream& os) const;
+
+ private:
+  double& balance_ref(AccountId id);
+
+  std::vector<std::pair<AccountId, double>> accounts_;
+  double treasury_ = 0.0;
+  std::vector<Transfer> history_;
+};
+
+}  // namespace dls::payment

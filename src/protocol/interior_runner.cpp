@@ -1,0 +1,124 @@
+#include "protocol/interior_runner.hpp"
+
+#include "common/error.hpp"
+
+namespace dls::protocol {
+
+namespace {
+
+/// The arm (root at its head) as a boundary chain.
+net::LinearNetwork arm_chain(const net::InteriorLinearNetwork& net,
+                             bool left) {
+  const std::size_t r = net.root();
+  const std::size_t n = net.size();
+  const std::size_t len = left ? r : n - r - 1;
+  std::vector<double> w = {net.w(r)};
+  std::vector<double> z;
+  for (std::size_t k = 0; k < len; ++k) {
+    const std::size_t pos = left ? r - 1 - k : r + 1 + k;
+    w.push_back(net.w(pos));
+    z.push_back(net.z(left ? r - k : r + 1 + k));
+  }
+  return net::LinearNetwork(std::move(w), std::move(z));
+}
+
+}  // namespace
+
+InteriorRunReport run_interior_protocol(
+    const net::InteriorLinearNetwork& true_network,
+    const agents::Population& left_agents,
+    const agents::Population& right_agents,
+    const ProtocolOptions& options) {
+  const std::size_t r = true_network.root();
+  const std::size_t n = true_network.size();
+  DLS_REQUIRE(left_agents.size() == r,
+              "left arm needs one agent per processor left of the root");
+  DLS_REQUIRE(right_agents.size() == n - r - 1,
+              "right arm needs one agent per processor right of the root");
+
+  InteriorRunReport report;
+
+  // Each arm runs the full chain protocol with its own round tag.
+  ProtocolOptions left_options = options;
+  left_options.round = options.round * 2;
+  left_options.seed = options.seed ^ 0x1ef7u;
+  ProtocolOptions right_options = options;
+  right_options.round = options.round * 2 + 1;
+  right_options.seed = options.seed ^ 0x816f7u;
+
+  report.left =
+      run_protocol(arm_chain(true_network, true), left_agents, left_options);
+  report.right = run_protocol(arm_chain(true_network, false), right_agents,
+                              right_options);
+  report.aborted = report.left.aborted || report.right.aborted;
+  if (report.left.aborted) {
+    report.abort_reason = "left arm: " + report.left.abort_reason;
+  }
+  if (report.right.aborted) {
+    if (!report.abort_reason.empty()) report.abort_reason += "; ";
+    report.abort_reason += "right arm: " + report.right.abort_reason;
+  }
+
+  // The root's three-way split from the submitted bids (the arms' own
+  // allocations inside the reports are per-unit-arm-load; scaling them
+  // by the split yields the network allocation, as in the solver).
+  {
+    std::vector<double> w(n), z(n - 1);
+    for (std::size_t i = 0; i < n; ++i) w[i] = true_network.w(i);
+    for (std::size_t j = 1; j < n; ++j) z[j - 1] = true_network.z(j);
+    for (std::size_t k = 1; k <= r; ++k) {
+      w[r - k] = left_agents.agent(k).bid();
+    }
+    for (std::size_t k = 1; k < n - r; ++k) {
+      w[r + k] = right_agents.agent(k).bid();
+    }
+    const net::InteriorLinearNetwork bids(std::move(w), std::move(z), r);
+    report.solution = dlt::solve_linear_interior(bids);
+  }
+
+  // Merge per-arm reports into network indexing. Utilities are the
+  // arms' outcomes: bonuses are load-scale-free and compensation legs
+  // cancel against valuations, so arm-level utilities ARE the
+  // network-level ones (see core/dls_interior.hpp for the argument).
+  report.processors.assign(n, ProcessorReport{});
+  for (std::size_t i = 0; i < n; ++i) report.processors[i].index = i;
+  {
+    ProcessorReport& root = report.processors[r];
+    root.true_rate = true_network.w(r);
+    root.bid_rate = true_network.w(r);
+    root.actual_rate = true_network.w(r);
+    if (!report.aborted) {
+      root.assigned = report.solution.alpha[r];
+      root.computed = root.assigned;
+      root.valuation = -root.computed * root.true_rate;
+      root.payment = -root.valuation;  // reimbursed at cost (4.3)
+    }
+    root.utility = 0.0;
+  }
+  auto merge = [&](const RunReport& arm, bool is_left, double arm_load) {
+    const std::size_t len = is_left ? r : n - r - 1;
+    // The arm protocol ran with the root at the arm chain's head keeping
+    // α_0 of the arm's unit load; the interior split ships `arm_load`
+    // into the arm *tail*, so arm-chain fractions map to network
+    // fractions with scale arm_load / (1 − α_0^arm).
+    const double scale = arm_load / (1.0 - arm.solution.alpha[0]);
+    for (std::size_t k = 1; k <= len; ++k) {
+      ProcessorReport p = arm.processors[k];
+      p.index = is_left ? r - k : r + k;
+      // Loads and costs scale with the arm's share of the unit load;
+      // utilities (bonuses, fines, rewards) are load-scale-free. The
+      // payment is re-derived so the report stays internally consistent:
+      // utility = valuation + payment − fines + rewards.
+      p.assigned *= scale;
+      p.computed *= scale;
+      p.valuation *= scale;
+      p.payment = p.utility - p.valuation + p.fines - p.rewards;
+      report.processors[p.index] = p;
+    }
+  };
+  merge(report.left, true, report.solution.left_load);
+  merge(report.right, false, report.solution.right_load);
+  return report;
+}
+
+}  // namespace dls::protocol

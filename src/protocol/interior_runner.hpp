@@ -1,0 +1,46 @@
+// The distributed protocol for interior load origination, by
+// composition: each arm of the chain is a boundary-origination chain
+// whose head is the obedient root, so one full four-phase chain protocol
+// runs per arm (same registry-of-record semantics, separate per-arm
+// rounds tagged left/right) and the reports merge into network indexing.
+//
+// Composition is faithful because nothing in Phases I-IV couples the
+// arms: bids propagate within an arm, G_i messages reference only the
+// arm's own D values, loads and Λ tokens flow within the arm, and the
+// payment rules are per-processor. The only shared quantity is the
+// root's three-way split, which is computed from the arms' equivalent
+// bids exactly as in dlt::solve_linear_interior.
+#pragma once
+
+#include "agents/agent.hpp"
+#include "dlt/interior.hpp"
+#include "net/networks.hpp"
+#include "protocol/runner.hpp"
+
+namespace dls::protocol {
+
+struct InteriorRunReport {
+  bool aborted = false;        ///< true if either arm aborted
+  std::string abort_reason;
+  dlt::InteriorSolution solution;  ///< split computed from the bids
+  RunReport left;              ///< the left arm's full report
+  RunReport right;             ///< the right arm's full report
+  /// Per-network-position final accounting (root has utility 0).
+  std::vector<ProcessorReport> processors;
+};
+
+/// Runs one round on an interior-origination chain. `population` has one
+/// agent per non-root processor, indexed by NETWORK position (1..n-1,
+/// skipping the root's position is not required — the agent at the
+/// root's index must not exist, so indices run 1..n-1 over a population
+/// built with `interior_population` below).
+///
+/// For simplicity of indexing, agents are supplied arm-by-arm:
+///  * `left_agents`  — agents for positions root-1, root-2, ..., 0;
+///  * `right_agents` — agents for positions root+1, ..., n-1.
+InteriorRunReport run_interior_protocol(
+    const net::InteriorLinearNetwork& true_network,
+    const agents::Population& left_agents,
+    const agents::Population& right_agents, const ProtocolOptions& options);
+
+}  // namespace dls::protocol

@@ -1,0 +1,44 @@
+#include "protocol/meter.hpp"
+
+#include "common/error.hpp"
+
+namespace dls::protocol {
+
+crypto::SignedClaim TamperProofMeter::read(
+    const sim::ExecutionResult& execution, std::size_t i,
+    double declared_rate) const {
+  DLS_REQUIRE(i < execution.computed.size(), "processor index out of range");
+  double rate = declared_rate;
+  const double computed = execution.computed[i];
+  if (computed > 0.0) {
+    // Total compute time divided by load: the observed unit time.
+    double compute_time = 0.0;
+    for (const auto& iv : execution.trace.intervals()) {
+      if (iv.processor == i && iv.activity == sim::Activity::kCompute) {
+        compute_time += iv.end - iv.start;
+      }
+    }
+    rate = compute_time / computed;
+  }
+  crypto::Claim claim;
+  claim.kind = crypto::ClaimKind::kMeteredRate;
+  claim.subject = static_cast<crypto::AgentId>(i);
+  claim.round = round_;
+  claim.value = rate;
+  return crypto::make_signed(signer_, claim);
+}
+
+std::vector<crypto::SignedClaim> TamperProofMeter::read_all(
+    const sim::ExecutionResult& execution,
+    std::span<const double> declared_rates) const {
+  DLS_REQUIRE(declared_rates.size() == execution.computed.size(),
+              "declared rates size mismatch");
+  std::vector<crypto::SignedClaim> out;
+  out.reserve(declared_rates.size());
+  for (std::size_t i = 0; i < declared_rates.size(); ++i) {
+    out.push_back(read(execution, i, declared_rates[i]));
+  }
+  return out;
+}
+
+}  // namespace dls::protocol

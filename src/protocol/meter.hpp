@@ -1,0 +1,39 @@
+// The tamper-proof meter of Sect. 4: each processor is fitted with a
+// meter that observes the actual per-unit processing time w̃_i and
+// reports it as dsm_0(w̃_i) — a claim signed under the *root's* key, so
+// the metered value is ground truth the processor cannot alter.
+//
+// In the simulation the meter reads the execution trace (computed load
+// and compute-interval length) rather than trusting the agent.
+#pragma once
+
+#include <vector>
+
+#include "crypto/signed_claim.hpp"
+#include "sim/linear_execution.hpp"
+
+namespace dls::protocol {
+
+class TamperProofMeter {
+ public:
+  /// `root_signer` must hold the root's (P_0's) key.
+  TamperProofMeter(const crypto::Signer& root_signer, std::uint64_t round)
+      : signer_(root_signer), round_(round) {}
+
+  /// Reads processor `i`'s actual rate from the execution result:
+  /// compute-time / computed-load. Falls back to `declared_rate` when the
+  /// processor computed nothing (an idle machine's speed is unobservable).
+  crypto::SignedClaim read(const sim::ExecutionResult& execution,
+                           std::size_t i, double declared_rate) const;
+
+  /// Meters every processor of the run.
+  std::vector<crypto::SignedClaim> read_all(
+      const sim::ExecutionResult& execution,
+      std::span<const double> declared_rates) const;
+
+ private:
+  crypto::Signer signer_;
+  std::uint64_t round_;
+};
+
+}  // namespace dls::protocol

@@ -1,0 +1,66 @@
+#include "protocol/session.hpp"
+
+#include "common/error.hpp"
+
+namespace dls::protocol {
+
+SessionReport run_session(const net::LinearNetwork& true_network,
+                          const agents::Population& population,
+                          const SessionOptions& options) {
+  const std::size_t n = true_network.size();
+  DLS_REQUIRE(population.size() == n - 1,
+              "population must cover every non-root processor");
+  DLS_REQUIRE(options.rounds >= 1, "session needs at least one round");
+  DLS_REQUIRE(options.exclusion_bid > 0.0, "exclusion bid must be positive");
+
+  SessionReport session;
+  session.wealth.assign(n, 0.0);
+  session.strikes.assign(n, 0);
+  session.excluded_at.assign(n, 0);
+
+  for (std::size_t round = 1; round <= options.rounds; ++round) {
+    // Build this round's effective population: excluded processors act
+    // as obedient relays with a prohibitive bid (≈ zero assignment).
+    std::vector<agents::StrategicAgent> agents;
+    agents.reserve(n - 1);
+    for (std::size_t i = 1; i < n; ++i) {
+      agents::StrategicAgent agent = population.agent(i);
+      if (session.excluded_at[i] != 0) {
+        agents::Behavior sidelined = agents::Behavior::truthful();
+        sidelined.name = "excluded";
+        // A prohibitive bid: Algorithm 1 assigns it a vanishing share.
+        sidelined.bid_multiplier = options.exclusion_bid / agent.true_rate;
+        agent.behavior = sidelined;
+      }
+      agents.push_back(std::move(agent));
+    }
+
+    ProtocolOptions round_options = options.round_options;
+    round_options.round = round;
+    round_options.seed = options.round_options.seed + round * 0x9e37u;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (session.excluded_at[i] != 0) round_options.unpaid.push_back(i);
+    }
+    RunReport report = run_protocol(
+        true_network, agents::Population(std::move(agents)), round_options);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      session.wealth[i] += report.processors[i].utility;
+    }
+    for (const auto& incident : report.incidents) {
+      const std::size_t loser =
+          incident.substantiated ? incident.accused : incident.reporter;
+      if (loser == 0) continue;  // the root is obedient by definition
+      ++session.strikes[loser];
+      if (options.strikes_to_exclude != 0 &&
+          session.strikes[loser] >= options.strikes_to_exclude &&
+          session.excluded_at[loser] == 0) {
+        session.excluded_at[loser] = round;
+      }
+    }
+    session.rounds.push_back(std::move(report));
+  }
+  return session;
+}
+
+}  // namespace dls::protocol

@@ -1,0 +1,51 @@
+// Multi-round protocol sessions: the same population plays DLS-LBL
+// round after round against a persistent ledger, with a simple
+// reputation policy — processors that accumulate substantiated
+// incidents are excluded from later rounds (their share of the chain is
+// bridged; the paper's fines already make deviation a one-shot loss, and
+// exclusion turns repeat offenders into non-participants).
+//
+// Exclusion on a chain means the culprit still relays load (links are
+// obedient infrastructure) but receives no assignment and no payments:
+// we model it by giving the excluded processor an effectively infinite
+// bid, which drives its allocated share to ~0 under Algorithm 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "agents/agent.hpp"
+#include "net/networks.hpp"
+#include "protocol/runner.hpp"
+
+namespace dls::protocol {
+
+struct SessionOptions {
+  ProtocolOptions round_options;
+  std::size_t rounds = 10;
+  /// Substantiated incidents before a processor is excluded; 0 disables
+  /// the reputation policy.
+  std::size_t strikes_to_exclude = 2;
+  /// The bid assigned to excluded processors (must dwarf real rates).
+  double exclusion_bid = 1e6;
+};
+
+struct SessionReport {
+  std::vector<RunReport> rounds;
+  std::vector<double> wealth;            ///< cumulative utility per index
+  std::vector<std::size_t> strikes;      ///< substantiated incidents
+  std::vector<std::size_t> excluded_at;  ///< round of exclusion (0 = never)
+
+  bool is_excluded(std::size_t processor) const {
+    return excluded_at.at(processor) != 0;
+  }
+};
+
+/// Plays `options.rounds` rounds. Behaviors are fixed per agent for the
+/// whole session (the interesting dynamics come from the ledger and the
+/// reputation policy, not from re-randomising agents).
+SessionReport run_session(const net::LinearNetwork& true_network,
+                          const agents::Population& population,
+                          const SessionOptions& options);
+
+}  // namespace dls::protocol

@@ -1,0 +1,444 @@
+#include "protocol/tree_runner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/tolerance.hpp"
+#include "crypto/signed_claim.hpp"
+#include "dlt/star.hpp"
+#include "protocol/tokens.hpp"
+
+namespace dls::protocol {
+
+namespace {
+
+using crypto::Claim;
+using crypto::ClaimKind;
+using crypto::SignedClaim;
+
+struct TreeRound {
+  const net::TreeNetwork* truth = nullptr;
+  const agents::Population* population = nullptr;
+  ProtocolOptions options;
+  double fine = 0.0;
+
+  crypto::KeyRegistry registry;
+  std::vector<crypto::Signer> signers;
+  common::Rng rng{1};
+  TreeRunReport report;
+
+  std::size_t n() const noexcept { return truth->size(); }
+
+  const agents::Behavior& behavior(std::size_t v) const {
+    return population->agent(v).behavior;
+  }
+
+  double charged(double amount) const noexcept {
+    return options.fines_enabled ? amount : 0.0;
+  }
+
+  void post_fine(std::size_t offender, std::size_t beneficiary,
+                 double amount, double reward, payment::TransferKind kind,
+                 const char* memo) {
+    if (!options.fines_enabled) return;
+    report.ledger.post({static_cast<payment::AccountId>(offender),
+                        payment::kTreasury, kind, amount, memo});
+    if (reward > 0.0 && beneficiary != offender) {
+      report.ledger.post({payment::kTreasury,
+                          static_cast<payment::AccountId>(beneficiary),
+                          payment::TransferKind::kReward, reward, memo});
+    }
+  }
+};
+
+/// Everything the mechanism could pay on a unit load for this bid tree —
+/// the fine must exceed it.
+double tree_cheating_profit_bound(const net::TreeNetwork& bids) {
+  double bound = 0.0;
+  for (std::size_t v = 1; v < bids.size(); ++v) {
+    bound += bids.w(v) + bids.w(bids.parent(v));
+  }
+  return bound;
+}
+
+/// Phase I: signed subtree bids to each parent. Returns false on abort.
+bool phase1(TreeRound& round, std::vector<SignedClaim>& bid_claims) {
+  const std::size_t n = round.n();
+  const net::TreeNetwork& truth = *round.truth;
+
+  // Equivalent subtree bids from the rate bids.
+  std::vector<double> w(n);
+  w[0] = truth.w(0);
+  for (std::size_t v = 1; v < n; ++v) {
+    w[v] = round.population->agent(v).bid();
+  }
+  std::vector<double> z(n, 1.0);
+  std::vector<std::size_t> parent(n, 0);
+  for (std::size_t v = 1; v < n; ++v) {
+    z[v] = truth.z(v);
+    parent[v] = truth.parent(v);
+  }
+  const net::TreeNetwork bid_tree(w, z, parent);
+  const dlt::TreeSolution bid_sol = dlt::solve_tree(bid_tree);
+
+  bid_claims.assign(n, SignedClaim{});
+  for (std::size_t v = 0; v < n; ++v) {
+    bid_claims[v] = crypto::make_signed(
+        round.signers[v],
+        Claim{ClaimKind::kEquivalentBid, static_cast<crypto::AgentId>(v),
+              round.options.round, bid_sol.equivalent_w[v]});
+  }
+
+  for (std::size_t v = 1; v < n; ++v) {
+    if (!round.behavior(v).contradictory_messages) continue;
+    const SignedClaim duplicate = crypto::make_signed(
+        round.signers[v],
+        Claim{ClaimKind::kEquivalentBid, static_cast<crypto::AgentId>(v),
+              round.options.round, bid_sol.equivalent_w[v] * 1.05});
+    Incident incident;
+    incident.kind = Incident::Kind::kContradictoryMessages;
+    incident.accused = v;
+    incident.reporter = truth.parent(v);
+    incident.substantiated =
+        crypto::verify(round.registry, bid_claims[v]) &&
+        crypto::verify(round.registry, duplicate) &&
+        crypto::contradicts(bid_claims[v], duplicate);
+    incident.fine = round.charged(round.fine);
+    incident.detail = "two signed subtree bids with different values";
+    round.report.incidents.push_back(incident);
+    round.post_fine(v, truth.parent(v), round.fine, round.fine,
+                    payment::TransferKind::kFine,
+                    "tree phase I contradiction");
+    round.report.aborted = true;
+    round.report.abort_reason =
+        "contradictory subtree bids from node " + std::to_string(v);
+    return false;
+  }
+  for (std::size_t v = 1; v < n; ++v) {
+    if (!round.behavior(v).false_accusation) continue;
+    const std::size_t accused = truth.parent(v);
+    SignedClaim forged = crypto::make_signed(
+        round.signers[v],
+        Claim{ClaimKind::kEquivalentBid,
+              static_cast<crypto::AgentId>(accused), round.options.round,
+              99.0});
+    forged.signer = static_cast<crypto::AgentId>(accused);
+    Incident incident;
+    incident.kind = Incident::Kind::kFalseAccusation;
+    incident.accused = accused;
+    incident.reporter = v;
+    incident.substantiated = crypto::verify(round.registry, forged);
+    incident.fine = round.charged(round.fine);
+    incident.detail = "fabricated contradiction evidence";
+    round.report.incidents.push_back(incident);
+    if (!incident.substantiated && accused != 0) {
+      round.post_fine(v, accused, round.fine, round.fine,
+                      payment::TransferKind::kFine,
+                      "tree false accusation exculpated");
+    } else if (!incident.substantiated) {
+      // Accusing the obedient root still costs the accuser the fine.
+      round.post_fine(v, 0, round.fine, 0.0, payment::TransferKind::kFine,
+                      "tree false accusation against the root");
+    }
+  }
+  return true;
+}
+
+/// Phase II: signed loads flow pre-order; every child recomputes its
+/// parent's local star from the signed claims and checks its share.
+bool phase2(TreeRound& round, const dlt::TreeSolution& bid_sol,
+            const std::vector<SignedClaim>& bid_claims) {
+  const std::size_t n = round.n();
+  const net::TreeNetwork& truth = *round.truth;
+
+  std::vector<SignedClaim> load_claims(n);  // dsm_parent(L_v)
+  std::vector<double> load_value(n);
+  load_value[0] = 1.0;
+  load_claims[0] = crypto::make_signed(
+      round.signers[0], Claim{ClaimKind::kReceivedLoad, 0,
+                              round.options.round, 1.0});
+  for (std::size_t v = 1; v < n; ++v) {
+    const std::size_t p = truth.parent(v);
+    double value = bid_sol.received[v];
+    // Deviation (ii): a miscomputing parent ships its first child 10%
+    // less than the algorithm prescribes.
+    if (p >= 1 && round.behavior(p).miscompute_allocation &&
+        truth.children(p).front() == v) {
+      value *= 0.9;
+    }
+    load_value[v] = value;
+    load_claims[v] = crypto::make_signed(
+        round.signers[p], Claim{ClaimKind::kReceivedLoad,
+                                static_cast<crypto::AgentId>(v),
+                                round.options.round, value});
+  }
+
+  for (std::size_t v = 1; v < n; ++v) {
+    const std::size_t p = truth.parent(v);
+    // Authenticity of the bundle.
+    if (!crypto::verify(round.registry, load_claims[v]) ||
+        !crypto::verify(round.registry, load_claims[p])) {
+      round.report.aborted = true;
+      round.report.abort_reason = "unverifiable load claim";
+      return false;
+    }
+    // Recompute the parent's local star share from the signed sibling
+    // subtree bids.
+    std::vector<double> sw, sz;
+    std::vector<std::size_t> order(truth.children(p).begin(),
+                                   truth.children(p).end());
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return truth.z(a) < truth.z(b);
+                     });
+    for (const std::size_t c : order) {
+      DLS_REQUIRE(crypto::verify(round.registry, bid_claims[c]),
+                  "sibling bid claims must verify");
+      sw.push_back(bid_claims[c].claim.value);
+      sz.push_back(truth.z(c));
+    }
+    const double parent_rate =
+        p == 0 ? truth.w(0) : round.population->agent(p).bid();
+    const net::StarNetwork local(parent_rate, std::move(sw), std::move(sz));
+    const dlt::StarSolution local_sol = dlt::solve_star(local);
+    double expected_share = 0.0;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      if (order[k] == v) expected_share = local_sol.alpha[k];
+    }
+    const double expected = load_value[p] * expected_share;
+    if (!common::approx_equal(load_value[v], expected, 1e-9)) {
+      Incident incident;
+      incident.kind = Incident::Kind::kMiscomputation;
+      incident.accused = p;
+      incident.reporter = v;
+      incident.substantiated = true;
+      incident.fine = round.charged(round.fine);
+      incident.detail = "child load inconsistent with the local star";
+      round.report.incidents.push_back(incident);
+      round.post_fine(p, v, round.fine, round.fine,
+                      payment::TransferKind::kFine,
+                      "tree phase II miscomputation");
+      round.report.aborted = true;
+      round.report.abort_reason = "miscomputed load from node " +
+                                  std::to_string(p) + " to node " +
+                                  std::to_string(v);
+      return false;
+    }
+  }
+  return true;
+}
+
+void phase3(TreeRound& round, const dlt::TreeSolution& bid_sol) {
+  const std::size_t n = round.n();
+  const net::TreeNetwork& truth = *round.truth;
+
+  sim::TreeExecutionPlan plan;
+  plan.keep_multiplier.assign(n, 1.0);
+  plan.actual_rate.resize(n);
+  plan.actual_rate[0] = truth.w(0);
+  for (std::size_t v = 1; v < n; ++v) {
+    plan.keep_multiplier[v] = 1.0 - round.behavior(v).shed_fraction;
+    plan.actual_rate[v] = round.population->agent(v).actual_rate();
+  }
+  round.report.execution = sim::execute_tree(truth, bid_sol, plan);
+  const sim::TreeExecutionResult& exec = *round.report.execution;
+  round.report.makespan = exec.makespan;
+
+  // Λ tokens split along the tree; the first overloaded node reports its
+  // parent, and the fine covers every descendant's extra work.
+  const double tol =
+      2.0 / static_cast<double>(round.options.blocks_per_unit);
+  for (std::size_t v = 1; v < n; ++v) {
+    if (exec.received[v] <= bid_sol.received[v] + tol) continue;
+    if (round.behavior(v).suppress_grievance) continue;
+    const std::size_t offender = truth.parent(v);
+    double extra_cost = 0.0;
+    for (std::size_t u = 1; u < n; ++u) {
+      const double extra = exec.computed[u] - bid_sol.alpha[u];
+      if (extra > 0.0) extra_cost += extra * plan.actual_rate[u];
+    }
+    Incident incident;
+    incident.kind = Incident::Kind::kLoadShedding;
+    incident.accused = offender;
+    incident.reporter = v;
+    incident.substantiated = true;
+    incident.fine = round.charged(round.fine + extra_cost);
+    incident.detail = "received more than the published load";
+    round.report.incidents.push_back(incident);
+    round.post_fine(offender, v, round.fine + extra_cost, round.fine,
+                    payment::TransferKind::kFine,
+                    "tree phase III load shedding");
+    break;
+  }
+
+  for (std::size_t v = 1; v < n; ++v) {
+    if (!round.behavior(v).corrupt_data) continue;
+    round.report.solution_found = false;
+    Incident incident;
+    incident.kind = Incident::Kind::kDataCorruption;
+    incident.accused = v;
+    incident.reporter = 0;
+    incident.substantiated = true;
+    incident.detail = "forwarded corrupted data";
+    round.report.incidents.push_back(incident);
+  }
+}
+
+void phase4(TreeRound& round) {
+  const std::size_t n = round.n();
+  const net::TreeNetwork& truth = *round.truth;
+  const sim::TreeExecutionResult& exec = *round.report.execution;
+
+  // Metered actual rates (ground truth from the execution).
+  std::vector<double> metered(n);
+  metered[0] = truth.w(0);
+  for (std::size_t v = 1; v < n; ++v) {
+    metered[v] = round.population->agent(v).actual_rate();
+  }
+
+  std::vector<double> w(n), z(n, 1.0);
+  std::vector<std::size_t> parent(n, 0);
+  w[0] = truth.w(0);
+  for (std::size_t v = 1; v < n; ++v) {
+    w[v] = round.population->agent(v).bid();
+    z[v] = truth.z(v);
+    parent[v] = truth.parent(v);
+  }
+  const net::TreeNetwork bid_tree(std::move(w), std::move(z),
+                                  std::move(parent));
+  round.report.assessment = core::assess_dls_tree(
+      bid_tree, metered, exec.computed, round.options.mechanism,
+      round.report.solution_found);
+
+  const double q = round.options.mechanism.audit_probability;
+  for (std::size_t v = 1; v < n; ++v) {
+    const auto& a = round.report.assessment.nodes[v];
+    const double correct = a.payment;
+    const double overcharge = round.behavior(v).overcharge;
+    double paid = correct + overcharge;
+    if (overcharge > 0.0 && round.rng.bernoulli(q)) {
+      paid = correct;
+      Incident incident;
+      incident.kind = Incident::Kind::kOvercharge;
+      incident.accused = v;
+      incident.reporter = 0;
+      incident.substantiated = true;
+      incident.fine = round.charged(round.fine / q);
+      incident.detail = "billed above the provable payment";
+      round.report.incidents.push_back(incident);
+      round.post_fine(v, 0, round.fine / q, 0.0,
+                      payment::TransferKind::kAuditPenalty,
+                      "tree overcharge");
+    }
+    if (paid > 0.0) {
+      round.report.ledger.post({payment::kTreasury,
+                                static_cast<payment::AccountId>(v),
+                                payment::TransferKind::kCompensation, paid,
+                                "Q_" + std::to_string(v)});
+    } else if (paid < 0.0) {
+      round.report.ledger.post({static_cast<payment::AccountId>(v),
+                                payment::kTreasury,
+                                payment::TransferKind::kCompensation, -paid,
+                                "Q_" + std::to_string(v)});
+    }
+  }
+  const double root_cost =
+      round.report.assessment.nodes[0].compensation;
+  if (root_cost > 0.0) {
+    round.report.ledger.post({payment::kTreasury, 0,
+                              payment::TransferKind::kCompensation,
+                              root_cost, "root reimbursement"});
+  }
+}
+
+void finalize(TreeRound& round) {
+  const std::size_t n = round.n();
+  round.report.nodes.assign(n, ProcessorReport{});
+  for (std::size_t v = 0; v < n; ++v) {
+    ProcessorReport& p = round.report.nodes[v];
+    p.index = v;
+    p.true_rate = round.truth->w(v);
+    p.bid_rate =
+        v == 0 ? round.truth->w(0) : round.population->agent(v).bid();
+    if (!round.report.aborted) {
+      const auto& a = round.report.assessment.nodes[v];
+      p.actual_rate = a.actual_rate;
+      p.assigned = a.alpha;
+      p.computed = a.computed;
+      p.valuation = a.valuation;
+    }
+  }
+  for (const auto& inc : round.report.incidents) {
+    const std::size_t loser = inc.substantiated ? inc.accused : inc.reporter;
+    const std::size_t winner = inc.substantiated ? inc.reporter : inc.accused;
+    if (inc.fine > 0.0 && loser >= 1) {
+      round.report.nodes[loser].fines += inc.fine;
+      if (inc.kind != Incident::Kind::kOvercharge && winner >= 1) {
+        round.report.nodes[winner].rewards += round.charged(round.fine);
+      }
+    }
+  }
+  for (std::size_t v = 1; v < n; ++v) {
+    round.report.nodes[v].payment = round.report.ledger.net_of_kind(
+        static_cast<payment::AccountId>(v),
+        payment::TransferKind::kCompensation);
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    ProcessorReport& p = round.report.nodes[v];
+    p.utility = p.valuation + p.payment - p.fines + p.rewards;
+  }
+  round.report.nodes[0].utility = 0.0;
+}
+
+}  // namespace
+
+TreeRunReport run_tree_protocol(const net::TreeNetwork& true_network,
+                                const agents::Population& population,
+                                const ProtocolOptions& options) {
+  const std::size_t n = true_network.size();
+  DLS_REQUIRE(n >= 2, "the protocol needs at least one strategic node");
+  DLS_REQUIRE(population.size() == n - 1,
+              "population must cover every non-root node");
+
+  TreeRound round;
+  round.truth = &true_network;
+  round.population = &population;
+  round.options = options;
+  round.rng = common::Rng(options.seed);
+
+  round.signers.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    round.signers.push_back(
+        round.registry.enroll(static_cast<crypto::AgentId>(v), round.rng));
+    round.report.ledger.open_account(static_cast<payment::AccountId>(v));
+  }
+
+  // The bid tree and its allocation (shared by Phases II-IV).
+  std::vector<double> w(n), z(n, 1.0);
+  std::vector<std::size_t> parent(n, 0);
+  w[0] = true_network.w(0);
+  for (std::size_t v = 1; v < n; ++v) {
+    w[v] = population.agent(v).bid();
+    round.report.bids.push_back(w[v]);
+    z[v] = true_network.z(v);
+    parent[v] = true_network.parent(v);
+  }
+  const net::TreeNetwork bid_tree(std::move(w), std::move(z),
+                                  std::move(parent));
+  const dlt::TreeSolution bid_sol = dlt::solve_tree(bid_tree);
+  round.fine = options.mechanism.fine;
+  if (options.auto_size_fine) {
+    round.fine = std::max(round.fine,
+                          tree_cheating_profit_bound(bid_tree) + 1.0);
+  }
+
+  std::vector<SignedClaim> bid_claims;
+  if (phase1(round, bid_claims) && phase2(round, bid_sol, bid_claims)) {
+    phase3(round, bid_sol);
+    phase4(round);
+  }
+  finalize(round);
+  return round.report;
+}
+
+}  // namespace dls::protocol

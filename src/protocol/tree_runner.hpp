@@ -1,0 +1,54 @@
+// The distributed mechanism for tree networks — protocol-level
+// realisation of the DLS-T analogue (core/dls_tree.hpp), following the
+// companion tree mechanism [9]. The four phases of the chain protocol
+// generalise node-by-node:
+//
+//  * Phase I: equivalent subtree bids ρ̄_v flow post-order to each
+//    parent as signed claims (contradictory copies are evidence);
+//  * Phase II: loads flow pre-order; each child receives the signed
+//    bundle (its load L_c, the parent's arriving load L_p, the parent's
+//    rate bid and every sibling's Phase I claim) and *recomputes the
+//    parent's local star* to verify its share — a parent that
+//    miscomputes a child's load is reported with the bundle as evidence;
+//  * Phase III: execution through sim::execute_tree; Λ tokens split
+//    along the tree prove received amounts, so a shedding parent (who
+//    keeps less and dumps the remainder on its children pro-rata) is
+//    reported by the first overloaded child;
+//  * Phase IV: tamper-proof metering, DLS-T payments with recompense for
+//    overloaded nodes, billing with probabilistic audits.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "agents/agent.hpp"
+#include "core/dls_tree.hpp"
+#include "net/tree.hpp"
+#include "payment/ledger.hpp"
+#include "protocol/runner.hpp"
+#include "sim/tree_execution.hpp"
+
+namespace dls::protocol {
+
+struct TreeRunReport {
+  bool aborted = false;
+  std::string abort_reason;
+
+  std::vector<double> bids;  ///< w_1..w_{n-1} as submitted
+  core::DlsTreeResult assessment;
+  std::optional<sim::TreeExecutionResult> execution;
+  std::vector<ProcessorReport> nodes;  ///< index 0 = root (utility 0)
+  std::vector<Incident> incidents;
+  payment::Ledger ledger;
+  bool solution_found = true;
+  double makespan = 0.0;
+};
+
+/// Runs one round on the tree. `population` has one strategic agent per
+/// non-root node, indexed by node position (agent i ↔ node i).
+TreeRunReport run_tree_protocol(const net::TreeNetwork& true_network,
+                                const agents::Population& population,
+                                const ProtocolOptions& options);
+
+}  // namespace dls::protocol

@@ -1,0 +1,81 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dls::sim {
+
+namespace {
+
+struct Row {
+  std::string cells;
+  double amount = 0.0;
+};
+
+void paint(Row& row, double start, double end, double span, int width,
+           char glyph, double amount) {
+  const int from = std::clamp(
+      static_cast<int>(std::floor(start / span * width)), 0, width - 1);
+  int to = std::clamp(static_cast<int>(std::ceil(end / span * width)), 0,
+                      width);
+  if (to <= from) to = from + 1;
+  for (int c = from; c < to; ++c) {
+    row.cells[static_cast<std::size_t>(c)] = glyph;
+  }
+  row.amount += amount;
+}
+
+}  // namespace
+
+void render_gantt(std::ostream& os, const Trace& trace,
+                  const GanttOptions& options) {
+  DLS_REQUIRE(options.width >= 20, "gantt width too small");
+  const std::size_t n = trace.processors();
+  if (n == 0) {
+    os << "(empty trace)\n";
+    return;
+  }
+  const double span = std::max(trace.end(), 1e-300);
+  const int width = options.width;
+
+  std::vector<Row> comm(n), comp(n);
+  for (auto rows : {&comm, &comp}) {
+    for (auto& row : *rows) {
+      row.cells.assign(static_cast<std::size_t>(width), ' ');
+    }
+  }
+  for (const auto& iv : trace.intervals()) {
+    const char glyph = iv.activity == Activity::kSend      ? '>'
+                       : iv.activity == Activity::kReceive ? '<'
+                                                           : '#';
+    Row& row = iv.activity == Activity::kCompute ? comp[iv.processor]
+                                                 : comm[iv.processor];
+    paint(row, iv.start, iv.end, span, width, glyph, iv.amount);
+  }
+
+  if (!options.title.empty()) os << options.title << '\n';
+  os << "time 0 " << std::string(static_cast<std::size_t>(width) - 2, '.')
+     << ' ' << std::fixed << std::setprecision(6) << span << '\n';
+  for (std::size_t p = 0; p < n; ++p) {
+    std::ostringstream label;
+    label << 'P' << p;
+    os << std::setw(4) << label.str() << " comm |" << comm[p].cells << '|';
+    if (options.show_amounts && comm[p].amount > 0.0) {
+      os << " moved " << std::setprecision(4) << comm[p].amount;
+    }
+    os << '\n';
+    os << "     comp |" << comp[p].cells << '|';
+    if (options.show_amounts && comp[p].amount > 0.0) {
+      os << " alpha " << std::setprecision(4) << comp[p].amount;
+    }
+    os << '\n';
+  }
+  os.unsetf(std::ios::fixed);
+}
+
+}  // namespace dls::sim

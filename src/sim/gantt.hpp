@@ -1,0 +1,25 @@
+// Gantt chart rendering — the reproduction of Figure 2. Communication is
+// drawn on the row above each processor's time axis and computation on
+// the row below it, matching the paper's convention.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace dls::sim {
+
+struct GanttOptions {
+  int width = 96;          ///< columns used for the time span
+  bool show_amounts = true;  ///< annotate each row with load units
+  std::string title;
+};
+
+/// Renders the trace; processors appear in index order, each with a
+/// communication row ('>' send, '<' receive) above its axis and a
+/// computation row ('#') below.
+void render_gantt(std::ostream& os, const Trace& trace,
+                  const GanttOptions& options = {});
+
+}  // namespace dls::sim

@@ -1,0 +1,93 @@
+#include "sim/linear_execution.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/error.hpp"
+#include "sim/simulator.hpp"
+
+namespace dls::sim {
+
+ExecutionPlan ExecutionPlan::compliant(const net::LinearNetwork& network,
+                                       const dlt::LinearSolution& solution) {
+  ExecutionPlan plan;
+  plan.retain_fraction = solution.alpha_hat;
+  plan.actual_rate.assign(network.processing_times().begin(),
+                          network.processing_times().end());
+  return plan;
+}
+
+namespace {
+
+/// Shared mutable state threaded through the event closures.
+struct ChainState {
+  const net::LinearNetwork* network = nullptr;
+  const ExecutionPlan* plan = nullptr;
+  ExecutionResult result;
+
+  /// P_i owns `load` units as of the current simulation instant.
+  void on_load_available(Simulator& sim, std::size_t i, double load) {
+    const std::size_t n = network->size();
+    result.received[i] = load;
+    const bool terminal = (i + 1 == n);
+    const double retain =
+        terminal ? 1.0 : std::clamp(plan->retain_fraction[i], 0.0, 1.0);
+    const double kept = retain * load;
+    const double forwarded = load - kept;
+
+    if (kept > 0.0) {
+      const double duration = kept * plan->actual_rate[i];
+      const Time start = sim.now();
+      result.trace.record(Interval{i, Activity::kCompute, start,
+                                   start + duration, kept});
+      result.computed[i] = kept;
+      sim.schedule_after(duration, [this, i](Simulator& s) {
+        result.finish_time[i] = s.now();
+      });
+    }
+    if (!terminal && forwarded > 0.0) {
+      const double duration = forwarded * network->z(i + 1);
+      const Time start = sim.now();
+      result.trace.record(Interval{i, Activity::kSend, start,
+                                   start + duration, forwarded});
+      result.trace.record(Interval{i + 1, Activity::kReceive, start,
+                                   start + duration, forwarded});
+      sim.schedule_after(duration, [this, i, forwarded](Simulator& s) {
+        on_load_available(s, i + 1, forwarded);
+      });
+    }
+  }
+};
+
+}  // namespace
+
+ExecutionResult execute_linear(const net::LinearNetwork& network,
+                               const ExecutionPlan& plan) {
+  const std::size_t n = network.size();
+  DLS_REQUIRE(plan.retain_fraction.size() == n,
+              "plan retain_fraction size mismatch");
+  DLS_REQUIRE(plan.actual_rate.size() == n, "plan actual_rate size mismatch");
+  for (const double rate : plan.actual_rate) {
+    DLS_REQUIRE(rate > 0.0, "actual rates must be positive");
+  }
+
+  auto state = std::make_unique<ChainState>();
+  state->network = &network;
+  state->plan = &plan;
+  state->result.received.assign(n, 0.0);
+  state->result.computed.assign(n, 0.0);
+  state->result.finish_time.assign(n, 0.0);
+
+  Simulator sim;
+  ChainState* raw = state.get();
+  sim.schedule_at(0.0, [raw](Simulator& s) {
+    raw->on_load_available(s, 0, 1.0);
+  });
+  sim.run();
+
+  state->result.makespan = *std::max_element(
+      state->result.finish_time.begin(), state->result.finish_time.end());
+  return std::move(state->result);
+}
+
+}  // namespace dls::sim

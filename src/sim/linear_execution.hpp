@@ -1,0 +1,51 @@
+// Event-driven execution of a boundary-origination chain (Phase III of
+// the mechanism, and the timing model of Sect. 2).
+//
+// The model simulated:
+//  * store-and-forward: a processor owns its inbound load only when the
+//    whole transfer has arrived;
+//  * front-end: computation overlaps the onward transfer;
+//  * one-port: each processor forwards to at most one successor (trivially
+//    satisfied on a chain, but the trace is checked anyway in tests).
+//
+// The plan carries *actual* behaviour, which may deviate from the
+// prescribed optimum: retain_fraction[i] is the share of the received
+// load P_i really keeps (α̂̃_i; shedding load means keeping less) and
+// actual_rate[i] is the speed it really computes at (w̃_i >= t_i).
+#pragma once
+
+#include <vector>
+
+#include "dlt/linear.hpp"
+#include "net/networks.hpp"
+#include "sim/trace.hpp"
+
+namespace dls::sim {
+
+struct ExecutionPlan {
+  /// α̂̃_i: fraction of the received load P_i retains; the terminal
+  /// processor must retain 1 (it has nobody to forward to).
+  std::vector<double> retain_fraction;
+  /// w̃_i: unit compute time actually applied.
+  std::vector<double> actual_rate;
+
+  /// The compliant plan for an optimal solution: retain α̂_i, run at the
+  /// network's true rates.
+  static ExecutionPlan compliant(const net::LinearNetwork& network,
+                                 const dlt::LinearSolution& solution);
+};
+
+struct ExecutionResult {
+  std::vector<double> received;     ///< load units that arrived at P_i
+  std::vector<double> computed;     ///< load units P_i computed (α̃_i)
+  std::vector<double> finish_time;  ///< compute completion (0 if idle)
+  double makespan = 0.0;            ///< last compute completion
+  Trace trace;
+};
+
+/// Runs the chain through the discrete-event engine. Only the link times
+/// of `network` are used — compute speed comes from the plan.
+ExecutionResult execute_linear(const net::LinearNetwork& network,
+                               const ExecutionPlan& plan);
+
+}  // namespace dls::sim

@@ -1,0 +1,103 @@
+#include "sim/linear_returns.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/error.hpp"
+#include "sim/simulator.hpp"
+
+namespace dls::sim {
+
+namespace {
+
+struct ReturnState {
+  const net::LinearNetwork* network = nullptr;
+  double delta = 0.0;
+  std::vector<double> pending;    ///< results held at P_i, not yet shipped
+  std::vector<bool> uplink_busy;  ///< link l_i (P_i -> P_{i-1}) in use
+  std::vector<double> port_free;  ///< when P_i's forward sending ended
+  Trace* trace = nullptr;
+  double root_received = 0.0;
+  double last_arrival = 0.0;
+
+  void try_send(Simulator& sim, std::size_t i) {
+    if (i == 0 || pending[i] <= 0.0 || uplink_busy[i]) return;
+    // One-port: P_i cannot return results while still forwarding load.
+    if (sim.now() < port_free[i] - 1e-15) {
+      sim.schedule_at(port_free[i],
+                      [this, i](Simulator& s) { try_send(s, i); });
+      return;
+    }
+    const double amount = pending[i];
+    pending[i] = 0.0;
+    uplink_busy[i] = true;
+    const double duration = amount * network->z(i);
+    const Time start = sim.now();
+    trace->record(Interval{i, Activity::kSend, start, start + duration,
+                           amount});
+    trace->record(Interval{i - 1, Activity::kReceive, start,
+                           start + duration, amount});
+    sim.schedule_after(duration, [this, i, amount](Simulator& s) {
+      uplink_busy[i] = false;
+      if (i - 1 == 0) {
+        root_received += amount;
+        last_arrival = s.now();
+      } else {
+        pending[i - 1] += amount;
+        try_send(s, i - 1);
+      }
+      try_send(s, i);  // more results may have queued meanwhile
+    });
+  }
+};
+
+}  // namespace
+
+ReturnExecutionResult execute_linear_with_returns(
+    const net::LinearNetwork& network, const ExecutionPlan& plan,
+    double delta) {
+  DLS_REQUIRE(delta >= 0.0, "result factor must be non-negative");
+  ReturnExecutionResult result;
+  result.forward = execute_linear(network, plan);
+  if (delta == 0.0) {
+    result.collection_time = result.forward.makespan;
+    return result;
+  }
+
+  const std::size_t n = network.size();
+  auto state = std::make_unique<ReturnState>();
+  state->network = &network;
+  state->delta = delta;
+  state->pending.assign(n, 0.0);
+  state->uplink_busy.assign(n, false);
+  state->trace = &result.forward.trace;
+  state->port_free.assign(n, 0.0);
+  for (const auto& iv : result.forward.trace.intervals()) {
+    if (iv.activity == Activity::kSend) {
+      state->port_free[iv.processor] =
+          std::max(state->port_free[iv.processor], iv.end);
+    }
+  }
+
+  Simulator sim;
+  ReturnState* raw = state.get();
+  // Each processor's result becomes available the moment its compute
+  // finishes; the return relay races down the chain from there.
+  for (std::size_t i = 1; i < n; ++i) {
+    const double amount = delta * result.forward.computed[i];
+    if (amount <= 0.0) continue;
+    sim.schedule_at(result.forward.finish_time[i],
+                    [raw, i, amount](Simulator& s) {
+                      raw->pending[i] += amount;
+                      raw->try_send(s, i);
+                    });
+  }
+  sim.run();
+
+  result.collected = state->root_received;
+  result.collection_time =
+      std::max(result.forward.makespan, state->last_arrival);
+  return result;
+}
+
+}  // namespace dls::sim

@@ -1,0 +1,36 @@
+// Result-return simulation — probing assumption (iii) of the paper
+// ("the time taken for returning the result of the load processing back
+// to the root is small").
+//
+// After a processor finishes computing, its result — δ load-equivalents
+// per unit of input — must travel back to the root through the same
+// chain (store-and-forward, half-duplex links: a link carries return
+// traffic only after its forward transfer is done, which at the optimum
+// is always the case since forward traffic completes before the first
+// computation ends). Relaying is greedy: whenever a processor's uplink
+// is free and it holds results (its own or relayed), it ships everything
+// it has as one batch.
+#pragma once
+
+#include "sim/linear_execution.hpp"
+
+namespace dls::sim {
+
+struct ReturnExecutionResult {
+  ExecutionResult forward;      ///< the Phase III computation itself
+  double collection_time = 0.0; ///< when the root holds every result
+  double collected = 0.0;       ///< result units returned (δ·Σ_{j>=1} α̃_j)
+
+  /// The overhead the paper's assumption (iii) neglects.
+  double return_overhead() const noexcept {
+    return collection_time - forward.makespan;
+  }
+};
+
+/// Runs the chain forward (like execute_linear) and then simulates the
+/// result return with factor `delta` >= 0 (result size per unit input).
+ReturnExecutionResult execute_linear_with_returns(
+    const net::LinearNetwork& network, const ExecutionPlan& plan,
+    double delta);
+
+}  // namespace dls::sim

@@ -1,0 +1,37 @@
+#include "sim/simulator.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace dls::sim {
+
+void Simulator::schedule_at(Time at, Action action) {
+  DLS_REQUIRE(std::isfinite(at), "event time must be finite");
+  DLS_REQUIRE(at >= now_, "cannot schedule into the past");
+  queue_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+void Simulator::schedule_after(Time delay, Action action) {
+  DLS_REQUIRE(delay >= 0.0, "delay must be non-negative");
+  schedule_at(now_ + delay, std::move(action));
+}
+
+Time Simulator::run() {
+  return run_until(std::numeric_limits<Time>::infinity());
+}
+
+Time Simulator::run_until(Time horizon) {
+  while (!queue_.empty() && queue_.top().time <= horizon) {
+    // priority_queue::top() is const; move out via const_cast on the
+    // entry we are about to pop (safe: no other reference exists).
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = entry.time;
+    ++executed_;
+    entry.action(*this);
+  }
+  return now_;
+}
+
+}  // namespace dls::sim

@@ -1,0 +1,63 @@
+// Discrete-event simulation engine.
+//
+// A deliberately small core: a time-ordered queue of closures with a
+// deterministic tiebreak (insertion sequence), which is all the network
+// execution models need. Determinism matters — two events at the same
+// instant always fire in schedule order, so simulated traces are
+// reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dls::sim {
+
+using Time = double;
+
+class Simulator {
+ public:
+  using Action = std::function<void(Simulator&)>;
+
+  /// Current simulation time.
+  Time now() const noexcept { return now_; }
+
+  /// Schedules `action` at absolute time `at` (>= now()).
+  void schedule_at(Time at, Action action);
+
+  /// Schedules `action` `delay` (>= 0) after now().
+  void schedule_after(Time delay, Action action);
+
+  /// Runs until the queue drains. Returns the time of the last event.
+  Time run();
+
+  /// Runs until the queue drains or `horizon` is reached; events beyond
+  /// the horizon stay queued.
+  Time run_until(Time horizon);
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+  std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace dls::sim

@@ -1,0 +1,85 @@
+#include "sim/star_execution.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dls::sim {
+
+double StarSchedule::total() const noexcept {
+  double sum = root_share;
+  for (const auto& send : sends) sum += send.chunk;
+  return sum;
+}
+
+StarExecutionResult execute_star(const net::StarNetwork& network,
+                                 const StarSchedule& schedule) {
+  const std::size_t m = network.workers();
+  DLS_REQUIRE(schedule.root_share >= 0.0, "root share must be >= 0");
+  for (const auto& send : schedule.sends) {
+    DLS_REQUIRE(send.worker < m, "installment worker out of range");
+    DLS_REQUIRE(send.chunk >= 0.0, "installment chunk must be >= 0");
+  }
+  DLS_REQUIRE(std::abs(schedule.total() - 1.0) <= 1e-9,
+              "schedule must cover exactly the unit load");
+  DLS_REQUIRE(schedule.root_share == 0.0 || network.root_computes(),
+              "a non-computing root cannot keep a share");
+
+  StarExecutionResult result;
+  result.computed.assign(m, 0.0);
+  result.finish_time.assign(m, 0.0);
+
+  // The root computes its share starting at t = 0 (front-end overlap).
+  if (schedule.root_share > 0.0) {
+    result.root_finish = schedule.root_share * network.root_w();
+    result.trace.record(Interval{0, Activity::kCompute, 0.0,
+                                 result.root_finish, schedule.root_share});
+  }
+
+  // One-port: transmissions are strictly sequential in schedule order.
+  // Each worker owns a busy-until clock; chunks queue behind both the
+  // arrival time and earlier chunks.
+  double port_clock = 0.0;
+  std::vector<double> busy_until(m, 0.0);
+  for (const auto& send : schedule.sends) {
+    if (send.chunk <= 0.0) continue;
+    const double z = network.z(send.worker);
+    const double arrive = port_clock + send.chunk * z;
+    result.trace.record(Interval{0, Activity::kSend, port_clock, arrive,
+                                 send.chunk});
+    result.trace.record(Interval{send.worker + 1, Activity::kReceive,
+                                 port_clock, arrive, send.chunk});
+    port_clock = arrive;
+    const double start = std::max(arrive, busy_until[send.worker]);
+    const double duration = send.chunk * network.w(send.worker);
+    result.trace.record(Interval{send.worker + 1, Activity::kCompute, start,
+                                 start + duration, send.chunk});
+    busy_until[send.worker] = start + duration;
+    result.computed[send.worker] += send.chunk;
+    result.finish_time[send.worker] = busy_until[send.worker];
+  }
+
+  result.makespan = result.root_finish;
+  for (const double f : result.finish_time) {
+    result.makespan = std::max(result.makespan, f);
+  }
+  return result;
+}
+
+StarSchedule single_installment(const net::StarNetwork& network,
+                                double alpha_root,
+                                const std::vector<double>& alpha,
+                                const std::vector<std::size_t>& order) {
+  DLS_REQUIRE(alpha.size() == network.workers(),
+              "allocation/worker count mismatch");
+  StarSchedule schedule;
+  schedule.root_share = alpha_root;
+  for (const std::size_t idx : order) {
+    if (alpha[idx] > 0.0) {
+      schedule.sends.push_back(Installment{idx, alpha[idx]});
+    }
+  }
+  return schedule;
+}
+
+}  // namespace dls::sim

@@ -1,0 +1,54 @@
+// Event-driven execution of star/bus networks, including multi-
+// installment schedules: the root serves workers one at a time (one-port)
+// in a prescribed sequence of (worker, chunk) transmissions; a worker
+// computes its chunks in arrival order on a busy queue.
+//
+// Used to cross-check the closed-form star solver and as the exact
+// evaluator behind the multi-round optimiser (dlt/multiround.hpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/networks.hpp"
+#include "sim/trace.hpp"
+
+namespace dls::sim {
+
+/// One transmission the root performs: `chunk` load units to `worker`.
+struct Installment {
+  std::size_t worker = 0;
+  double chunk = 0.0;
+};
+
+/// A full star schedule: the root's transmission sequence plus its own
+/// share (computed locally, overlapping all sends).
+struct StarSchedule {
+  double root_share = 0.0;
+  std::vector<Installment> sends;
+
+  /// Total load covered by the schedule (must be 1 for a valid run).
+  double total() const noexcept;
+};
+
+struct StarExecutionResult {
+  std::vector<double> computed;     ///< per worker
+  std::vector<double> finish_time;  ///< per worker (0 if idle)
+  double root_finish = 0.0;
+  double makespan = 0.0;
+  Trace trace;  ///< processor 0 = root, worker i at index i+1
+};
+
+/// Runs the schedule on the star. Chunks must be non-negative; the total
+/// must equal 1 within 1e-9.
+StarExecutionResult execute_star(const net::StarNetwork& network,
+                                 const StarSchedule& schedule);
+
+/// The single-installment schedule corresponding to a closed-form star
+/// solution (one chunk per worker, solver's service order).
+StarSchedule single_installment(const net::StarNetwork& network,
+                                double alpha_root,
+                                const std::vector<double>& alpha,
+                                const std::vector<std::size_t>& order);
+
+}  // namespace dls::sim

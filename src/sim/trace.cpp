@@ -1,0 +1,88 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dls::sim {
+
+std::string to_string(Activity activity) {
+  switch (activity) {
+    case Activity::kReceive:
+      return "receive";
+    case Activity::kSend:
+      return "send";
+    case Activity::kCompute:
+      return "compute";
+  }
+  return "unknown";
+}
+
+void Trace::record(Interval interval) {
+  DLS_REQUIRE(interval.end >= interval.start,
+              "interval must end at or after it starts");
+  intervals_.push_back(interval);
+}
+
+Time Trace::processor_finish(std::size_t processor) const noexcept {
+  Time finish = 0.0;
+  for (const auto& iv : intervals_) {
+    if (iv.processor == processor) finish = std::max(finish, iv.end);
+  }
+  return finish;
+}
+
+Time Trace::compute_finish(std::size_t processor) const noexcept {
+  Time finish = 0.0;
+  for (const auto& iv : intervals_) {
+    if (iv.processor == processor && iv.activity == Activity::kCompute) {
+      finish = std::max(finish, iv.end);
+    }
+  }
+  return finish;
+}
+
+Time Trace::end() const noexcept {
+  Time finish = 0.0;
+  for (const auto& iv : intervals_) finish = std::max(finish, iv.end);
+  return finish;
+}
+
+std::size_t Trace::processors() const noexcept {
+  std::size_t count = 0;
+  for (const auto& iv : intervals_) {
+    count = std::max(count, iv.processor + 1);
+  }
+  return count;
+}
+
+std::string Trace::check_one_port() const {
+  for (const Activity kind : {Activity::kSend, Activity::kReceive}) {
+    // Collect per-processor intervals of this kind and sort by start.
+    std::vector<Interval> of_kind;
+    for (const auto& iv : intervals_) {
+      if (iv.activity == kind) of_kind.push_back(iv);
+    }
+    std::stable_sort(of_kind.begin(), of_kind.end(),
+                     [](const Interval& a, const Interval& b) {
+                       if (a.processor != b.processor)
+                         return a.processor < b.processor;
+                       return a.start < b.start;
+                     });
+    for (std::size_t i = 1; i < of_kind.size(); ++i) {
+      const auto& prev = of_kind[i - 1];
+      const auto& cur = of_kind[i];
+      if (prev.processor == cur.processor && cur.start < prev.end - 1e-12) {
+        std::ostringstream os;
+        os << "processor " << cur.processor << " has overlapping "
+           << to_string(kind) << " intervals: [" << prev.start << ", "
+           << prev.end << ") and [" << cur.start << ", " << cur.end << ")";
+        return os.str();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace dls::sim

@@ -1,0 +1,59 @@
+// Activity traces: what each processor was doing and when. The Gantt
+// renderer (gantt.hpp) turns a trace into the Figure 2 chart, and tests
+// compare traced finish times against the closed forms of Sect. 2.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace dls::sim {
+
+enum class Activity : std::uint8_t {
+  kReceive,  ///< inbound transfer occupying the processor's front-end
+  kSend,     ///< outbound transfer (one-port: at most one at a time)
+  kCompute,  ///< crunching the retained load
+};
+
+std::string to_string(Activity activity);
+
+struct Interval {
+  std::size_t processor = 0;
+  Activity activity = Activity::kCompute;
+  Time start = 0.0;
+  Time end = 0.0;
+  double amount = 0.0;  ///< load units moved or computed
+};
+
+class Trace {
+ public:
+  void record(Interval interval);
+
+  const std::vector<Interval>& intervals() const noexcept {
+    return intervals_;
+  }
+
+  /// Last instant any activity of `processor` ends (0 if none).
+  Time processor_finish(std::size_t processor) const noexcept;
+
+  /// Last instant `processor` finishes a kCompute interval (0 if none).
+  Time compute_finish(std::size_t processor) const noexcept;
+
+  /// Global end of the trace.
+  Time end() const noexcept;
+
+  /// Number of processors mentioned (max index + 1; 0 for empty trace).
+  std::size_t processors() const noexcept;
+
+  /// Verifies the one-port model: per processor, kSend intervals must not
+  /// overlap each other and kReceive intervals must not overlap each
+  /// other. Returns a description of the first violation, or empty.
+  std::string check_one_port() const;
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace dls::sim

@@ -1,0 +1,91 @@
+#include "sim/tree_execution.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dls::sim {
+
+TreeExecutionPlan TreeExecutionPlan::compliant(
+    const net::TreeNetwork& network) {
+  TreeExecutionPlan plan;
+  plan.keep_multiplier.assign(network.size(), 1.0);
+  plan.actual_rate.resize(network.size());
+  for (std::size_t v = 0; v < network.size(); ++v) {
+    plan.actual_rate[v] = network.w(v);
+  }
+  return plan;
+}
+
+TreeExecutionResult execute_tree(const net::TreeNetwork& network,
+                                 const dlt::TreeSolution& bid_solution,
+                                 const TreeExecutionPlan& plan) {
+  const std::size_t n = network.size();
+  DLS_REQUIRE(plan.keep_multiplier.size() == n, "plan keep size mismatch");
+  DLS_REQUIRE(plan.actual_rate.size() == n, "plan rate size mismatch");
+  DLS_REQUIRE(bid_solution.alpha.size() == n, "solution size mismatch");
+  for (const double rate : plan.actual_rate) {
+    DLS_REQUIRE(rate > 0.0, "actual rates must be positive");
+  }
+
+  TreeExecutionResult result;
+  result.received.assign(n, 0.0);
+  result.computed.assign(n, 0.0);
+  result.finish_time.assign(n, 0.0);
+  std::vector<double> hold(n, 0.0);
+  result.received[0] = 1.0;
+
+  // Parents precede children in index order, so a single forward scan
+  // visits every node after its load and hold time are known.
+  for (std::size_t v = 0; v < n; ++v) {
+    const double load = result.received[v];
+    if (load <= 0.0) continue;
+    const auto kids = network.children(v);
+
+    double keep_fraction = 1.0;
+    if (!kids.empty()) {
+      keep_fraction = std::clamp(
+          bid_solution.local_keep[v] * plan.keep_multiplier[v], 0.0, 1.0);
+    }
+    const double kept = keep_fraction * load;
+    if (kept > 0.0) {
+      const double duration = kept * plan.actual_rate[v];
+      result.trace.record(Interval{v, Activity::kCompute, hold[v],
+                                   hold[v] + duration, kept});
+      result.computed[v] = kept;
+      result.finish_time[v] = hold[v] + duration;
+    }
+    if (kids.empty()) continue;
+
+    // Children's bid-derived shares of the forwarded remainder, served
+    // fastest-link-first (the order solve_tree used).
+    std::vector<std::size_t> order(kids.begin(), kids.end());
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return network.z(a) < network.z(b);
+                     });
+    double share_total = 0.0;
+    for (const std::size_t c : order) share_total += bid_solution.received[c];
+    const double forwarded = load - kept;
+    if (forwarded <= 0.0 || share_total <= 0.0) continue;
+    double clock = hold[v];
+    for (const std::size_t c : order) {
+      const double child_load =
+          forwarded * bid_solution.received[c] / share_total;
+      if (child_load <= 0.0) continue;
+      const double arrive = clock + child_load * network.z(c);
+      result.trace.record(
+          Interval{v, Activity::kSend, clock, arrive, child_load});
+      result.trace.record(
+          Interval{c, Activity::kReceive, clock, arrive, child_load});
+      clock = arrive;
+      hold[c] = arrive;
+      result.received[c] = child_load;
+    }
+  }
+  result.makespan = *std::max_element(result.finish_time.begin(),
+                                      result.finish_time.end());
+  return result;
+}
+
+}  // namespace dls::sim

@@ -1,0 +1,126 @@
+// Tests for the sweep helpers and experiment drivers.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "analysis/experiments.hpp"
+#include "analysis/learning.hpp"
+#include "analysis/sweep.hpp"
+#include "common/rng.hpp"
+#include "net/networks.hpp"
+
+namespace {
+
+using namespace dls::analysis;
+using dls::common::Rng;
+using dls::core::MechanismConfig;
+using dls::net::LinearNetwork;
+
+TEST(Sweep, LinspaceEndpointsExact) {
+  const auto xs = linspace(1.0, 3.0, 5);
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_DOUBLE_EQ(xs.front(), 1.0);
+  EXPECT_DOUBLE_EQ(xs.back(), 3.0);
+  EXPECT_NEAR(xs[2], 2.0, 1e-12);
+}
+
+TEST(Sweep, LogspaceIsGeometric) {
+  const auto xs = logspace(1.0, 100.0, 3);
+  ASSERT_EQ(xs.size(), 3u);
+  EXPECT_NEAR(xs[1], 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(xs.back(), 100.0);
+}
+
+TEST(Sweep, IntLadderCoversEndpoints) {
+  const auto xs = int_ladder(2, 64);
+  EXPECT_EQ(xs.front(), 2u);
+  EXPECT_EQ(xs.back(), 64u);
+  for (std::size_t i = 1; i < xs.size(); ++i) EXPECT_GT(xs[i], xs[i - 1]);
+}
+
+TEST(Sweep, Validation) {
+  EXPECT_THROW(linspace(3.0, 1.0, 5), dls::PreconditionError);
+  EXPECT_THROW(logspace(0.0, 1.0, 5), dls::PreconditionError);
+  EXPECT_THROW(int_ladder(5, 4), dls::PreconditionError);
+}
+
+TEST(Experiments, UtilityCurvePeaksAtTruth) {
+  const LinearNetwork net({1.0, 1.2, 0.8}, {0.2, 0.2});
+  const auto grid = logspace(0.3, 4.0, 61);
+  const auto curve = utility_vs_bid(net, 1, grid, MechanismConfig{});
+  EXPECT_EQ(curve.bids.size(), curve.utilities.size());
+  EXPECT_DOUBLE_EQ(curve.true_rate, 1.2);
+  EXPECT_LE(max_truth_advantage_gap(curve), 1e-9);
+  EXPECT_GT(curve.utility_at_truth, 0.0);
+}
+
+TEST(Experiments, SpeedCurveIsMonotoneDown) {
+  const LinearNetwork net({1.0, 1.2, 0.8}, {0.2, 0.2});
+  std::vector<double> mults = {1.0, 1.25, 1.5, 2.0};
+  const auto curve = utility_vs_speed(net, 2, mults, MechanismConfig{});
+  for (std::size_t k = 1; k < curve.utilities.size(); ++k) {
+    EXPECT_LE(curve.utilities[k], curve.utilities[k - 1] + 1e-12);
+  }
+}
+
+TEST(Experiments, ParticipationSampleFields) {
+  const LinearNetwork net({1.0, 1.2, 0.8}, {0.2, 0.2});
+  const auto sample = truthful_participation(net, MechanismConfig{});
+  EXPECT_GE(sample.min_utility, 0.0);
+  EXPECT_LE(sample.min_utility, sample.mean_utility);
+  EXPECT_LE(sample.mean_utility, sample.max_utility + 1e-12);
+  EXPECT_GT(sample.total_payment, 0.0);
+  EXPECT_GT(sample.makespan, 0.0);
+}
+
+TEST(Learning, ConvergesToTruthInOneEpoch) {
+  // Dominant strategies: the best response never depends on the others,
+  // so one revision round suffices from any start.
+  Rng rng(99);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 8));
+    const LinearNetwork net =
+        LinearNetwork::random(m + 1, rng, kWLo, kWHi, kZLo, kZHi);
+    LearningConfig config;
+    config.seed = rng.bits();
+    const LearningTrace trace = run_best_response_dynamics(net, config);
+    EXPECT_TRUE(trace.converged_to_truth);
+    EXPECT_EQ(trace.epochs_to_truth, 1u);
+    // Everyone's converged utility is the truthful one (>= 0).
+    for (const double u : trace.utilities.back()) EXPECT_GE(u, 0.0);
+  }
+}
+
+TEST(Learning, TraceShapesAreConsistent) {
+  const LinearNetwork net({1.0, 1.2, 0.8}, {0.2, 0.2});
+  LearningConfig config;
+  config.seed = 4;
+  const LearningTrace trace = run_best_response_dynamics(net, config);
+  ASSERT_EQ(trace.multipliers.size(), trace.epochs_run);
+  ASSERT_EQ(trace.utilities.size(), trace.epochs_run);
+  for (std::size_t e = 0; e < trace.epochs_run; ++e) {
+    EXPECT_EQ(trace.multipliers[e].size(), net.workers());
+    EXPECT_EQ(trace.utilities[e].size(), net.workers());
+  }
+}
+
+TEST(Learning, RequiresTruthfulCandidate) {
+  const LinearNetwork net({1.0, 1.2}, {0.2});
+  LearningConfig config;
+  config.candidates = {0.5, 2.0};  // no 1.0
+  EXPECT_THROW(run_best_response_dynamics(net, config),
+               dls::PreconditionError);
+}
+
+TEST(Experiments, BaselineComparisonOrdersCorrectly) {
+  Rng rng(31);
+  for (int rep = 0; rep < 10; ++rep) {
+    const LinearNetwork net =
+        LinearNetwork::random(8, rng, kWLo, kWHi, kZLo, kZHi);
+    const auto cmp = compare_baselines(net);
+    EXPECT_LE(cmp.optimal, cmp.equal_split + 1e-12);
+    EXPECT_LE(cmp.optimal, cmp.speed_proportional + 1e-12);
+    EXPECT_LE(cmp.optimal, cmp.root_only + 1e-12);
+  }
+}
+
+}  // namespace

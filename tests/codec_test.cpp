@@ -1,0 +1,141 @@
+// Tests for the canonical byte codec.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "codec/bytes.hpp"
+
+namespace {
+
+using dls::codec::Bytes;
+using dls::codec::DecodeError;
+using dls::codec::Reader;
+using dls::codec::to_hex;
+using dls::codec::Writer;
+
+TEST(Codec, FixedWidthRoundtrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.i64(-42);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  const Bytes& b = w.data();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x04);
+  EXPECT_EQ(b[3], 0x01);
+}
+
+TEST(Codec, VarintRoundtripBoundaries) {
+  const std::uint64_t cases[] = {
+      0, 1, 127, 128, 255, 300, 16383, 16384,
+      std::numeric_limits<std::uint32_t>::max(),
+      std::numeric_limits<std::uint64_t>::max()};
+  for (const auto v : cases) {
+    Writer w;
+    w.varint(v);
+    Reader r(w.data());
+    EXPECT_EQ(r.varint(), v) << v;
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Codec, VarintCompactness) {
+  Writer w;
+  w.varint(127);
+  EXPECT_EQ(w.size(), 1u);
+  Writer w2;
+  w2.varint(128);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(Codec, DoubleRoundtripPreservesBits) {
+  const double cases[] = {0.0, -0.0, 1.5, -3.25e-200,
+                          std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<double>::denorm_min()};
+  for (const double v : cases) {
+    Writer w;
+    w.f64(v);
+    Reader r(w.data());
+    const double back = r.f64();
+    EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0);
+  }
+  // NaN keeps its bit pattern too.
+  Writer w;
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  Reader r(w.data());
+  EXPECT_TRUE(std::isnan(r.f64()));
+}
+
+TEST(Codec, StringAndBytesRoundtrip) {
+  Writer w;
+  w.string("hello");
+  w.string("");
+  const Bytes blob = {1, 2, 3};
+  w.bytes(blob);
+  Reader r(w.data());
+  EXPECT_EQ(r.string(), "hello");
+  EXPECT_EQ(r.string(), "");
+  EXPECT_EQ(r.bytes(), blob);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, TruncatedBufferThrows) {
+  Writer w;
+  w.u64(7);
+  Bytes data = w.take();
+  data.pop_back();
+  Reader r(data);
+  EXPECT_THROW(r.u64(), DecodeError);
+}
+
+TEST(Codec, TruncatedStringThrows) {
+  Writer w;
+  w.varint(10);  // claims 10 bytes follow
+  w.u8('x');
+  Reader r(w.data());
+  EXPECT_THROW(r.string(), DecodeError);
+}
+
+TEST(Codec, OverlongVarintThrows) {
+  Bytes data(11, 0x80);  // never terminates within 10 bytes
+  Reader r(data);
+  EXPECT_THROW(r.varint(), DecodeError);
+}
+
+TEST(Codec, ExpectDoneDetectsTrailingBytes) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.data());
+  r.u8();
+  EXPECT_THROW(r.expect_done(), DecodeError);
+  r.u8();
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(Codec, RawAppendsWithoutFraming) {
+  Writer w;
+  const Bytes blob = {9, 8, 7};
+  w.raw(blob);
+  EXPECT_EQ(w.data(), blob);
+}
+
+TEST(Codec, HexRendering) {
+  const Bytes data = {0x00, 0xff, 0x10};
+  EXPECT_EQ(to_hex(data), "00ff10");
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Tests for the interior-origination mechanism extension.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/dls_interior.hpp"
+#include "net/networks.hpp"
+
+namespace {
+
+using dls::common::Rng;
+using dls::core::assess_dls_interior;
+using dls::core::interior_utility_under_bid;
+using dls::core::MechanismConfig;
+using dls::net::InteriorLinearNetwork;
+
+InteriorLinearNetwork random_interior(Rng& rng, std::size_t max_n = 14) {
+  const auto n = static_cast<std::size_t>(
+      rng.uniform_int(3, static_cast<std::int64_t>(max_n)));
+  std::vector<double> w(n), z(n - 1);
+  for (auto& x : w) x = rng.log_uniform(0.5, 5.0);
+  for (auto& x : z) x = rng.log_uniform(0.05, 0.5);
+  const auto root = static_cast<std::size_t>(
+      rng.uniform_int(1, static_cast<std::int64_t>(n) - 2));
+  return InteriorLinearNetwork(std::move(w), std::move(z), root);
+}
+
+std::vector<double> rates_of(const InteriorLinearNetwork& net) {
+  std::vector<double> rates(net.size());
+  for (std::size_t i = 0; i < net.size(); ++i) rates[i] = net.w(i);
+  return rates;
+}
+
+TEST(DlsInterior, RootHasZeroUtilityAndEveryoneIsAssessed) {
+  const InteriorLinearNetwork net({1.0, 0.8, 1.2, 0.9}, {0.2, 0.1, 0.3}, 1);
+  const auto result =
+      assess_dls_interior(net, rates_of(net), MechanismConfig{});
+  EXPECT_DOUBLE_EQ(result.processors[1].money.utility, 0.0);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_EQ(result.processors[i].index, i);
+    EXPECT_GT(result.processors[i].alpha, 0.0);
+  }
+  EXPECT_GT(result.total_payment, 0.0);
+  EXPECT_NEAR(result.mechanism_cost,
+              result.total_payment +
+                  result.processors[1].money.compensation,
+              1e-12);
+}
+
+TEST(DlsInterior, VoluntaryParticipationOnRandomInstances) {
+  Rng rng(41);
+  for (int rep = 0; rep < 20; ++rep) {
+    const InteriorLinearNetwork net = random_interior(rng);
+    const auto result =
+        assess_dls_interior(net, rates_of(net), MechanismConfig{});
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      if (i == net.root()) continue;
+      EXPECT_GE(result.processors[i].money.utility, -1e-9)
+          << "P" << i << " root " << net.root();
+      // Compliant truthful utility reduces to the bonus.
+      EXPECT_NEAR(result.processors[i].money.utility,
+                  result.processors[i].money.bonus, 1e-9);
+    }
+  }
+}
+
+TEST(DlsInterior, TruthDominatesOnBothArms) {
+  Rng rng(42);
+  const MechanismConfig config;
+  for (int rep = 0; rep < 6; ++rep) {
+    const InteriorLinearNetwork net = random_interior(rng, 10);
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      if (i == net.root()) continue;
+      const double t = net.w(i);
+      const double truth_u =
+          interior_utility_under_bid(net, i, t, t, config);
+      for (const double f : {0.4, 0.7, 0.9, 1.2, 1.8, 3.0}) {
+        const double u =
+            interior_utility_under_bid(net, i, t * f, t, config);
+        EXPECT_LE(u, truth_u + 1e-9)
+            << "P" << i << " factor " << f << " root " << net.root();
+      }
+    }
+  }
+}
+
+TEST(DlsInterior, SlowExecutionHurtsOnBothArms) {
+  Rng rng(43);
+  const MechanismConfig config;
+  const InteriorLinearNetwork net = random_interior(rng, 10);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (i == net.root()) continue;
+    const double t = net.w(i);
+    const double truth_u = interior_utility_under_bid(net, i, t, t, config);
+    const double slow_u =
+        interior_utility_under_bid(net, i, t, t * 1.6, config);
+    EXPECT_LT(slow_u, truth_u) << "P" << i;
+  }
+}
+
+TEST(DlsInterior, RejectsBadInputs) {
+  const InteriorLinearNetwork net({1.0, 0.8, 1.2}, {0.2, 0.1}, 1);
+  EXPECT_THROW(
+      assess_dls_interior(net, std::vector<double>{1.0}, MechanismConfig{}),
+      dls::PreconditionError);
+  EXPECT_THROW(
+      interior_utility_under_bid(net, 1, 1.0, 1.0, MechanismConfig{}),
+      dls::PreconditionError)
+      << "the root is not strategic";
+  EXPECT_THROW(
+      interior_utility_under_bid(net, 0, 1.0, 0.5, MechanismConfig{}),
+      dls::PreconditionError)
+      << "cannot run faster than capacity";
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Tests for the DLS-T analogue (tree-network mechanism): voluntary
+// participation, strategyproofness on randomized trees, consistency with
+// DLS-LBL on unary trees and with DLS-star on depth-1 trees.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/dls_lbl.hpp"
+#include "core/dls_star.hpp"
+#include "core/dls_tree.hpp"
+#include "net/networks.hpp"
+#include "net/tree.hpp"
+
+namespace {
+
+using dls::common::Rng;
+using dls::core::assess_dls_tree;
+using dls::core::MechanismConfig;
+using dls::core::tree_utility_under_bid;
+using dls::net::TreeNetwork;
+
+std::vector<double> rates_of(const TreeNetwork& tree) {
+  std::vector<double> rates(tree.size());
+  for (std::size_t i = 0; i < tree.size(); ++i) rates[i] = tree.w(i);
+  return rates;
+}
+
+TEST(DlsTree, RootHasZeroUtilityAndIsReimbursed) {
+  const TreeNetwork tree({1.0, 2.0, 1.5}, {1.0, 0.3, 0.2}, {0, 0, 0});
+  const auto result =
+      assess_dls_tree(tree, rates_of(tree), MechanismConfig{});
+  EXPECT_DOUBLE_EQ(result.nodes[0].utility, 0.0);
+  EXPECT_NEAR(result.nodes[0].compensation,
+              result.solution.alpha[0] * tree.w(0), 1e-12);
+}
+
+TEST(DlsTree, TruthfulUtilitiesAreNonNegative) {
+  Rng rng(31);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(2, 25));
+    const TreeNetwork tree =
+        TreeNetwork::random(n, rng, 0.5, 5.0, 0.05, 0.5);
+    const auto result =
+        assess_dls_tree(tree, rates_of(tree), MechanismConfig{});
+    for (std::size_t v = 1; v < n; ++v) {
+      EXPECT_GE(result.nodes[v].utility, -1e-9) << "node " << v;
+      // At truth, utility equals the marginal-contribution bonus.
+      EXPECT_NEAR(result.nodes[v].utility,
+                  result.nodes[v].rho_without - result.nodes[v].rho_realized,
+                  1e-9);
+    }
+  }
+}
+
+TEST(DlsTree, TruthDominatesOnRandomTrees) {
+  Rng rng(32);
+  const MechanismConfig config;
+  for (int rep = 0; rep < 8; ++rep) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(3, 12));
+    const TreeNetwork tree =
+        TreeNetwork::random(n, rng, 0.5, 5.0, 0.05, 0.5);
+    for (std::size_t v = 1; v < n; ++v) {
+      const double t = tree.w(v);
+      const double truth_u = tree_utility_under_bid(tree, v, t, t, config);
+      for (const double f : {0.3, 0.6, 0.9, 1.2, 1.8, 3.0}) {
+        const double u = tree_utility_under_bid(tree, v, t * f, t, config);
+        EXPECT_LE(u, truth_u + 1e-9)
+            << "node " << v << " factor " << f << " rep " << rep;
+      }
+    }
+  }
+}
+
+TEST(DlsTree, SlowExecutionHurts) {
+  Rng rng(33);
+  const MechanismConfig config;
+  const TreeNetwork tree = TreeNetwork::random(10, rng, 0.5, 5.0, 0.05, 0.5);
+  for (std::size_t v = 1; v < tree.size(); ++v) {
+    const double t = tree.w(v);
+    const double truth_u = tree_utility_under_bid(tree, v, t, t, config);
+    const double slow_u = tree_utility_under_bid(tree, v, t, t * 1.7, config);
+    EXPECT_LT(slow_u, truth_u) << "node " << v;
+  }
+}
+
+TEST(DlsTree, VerificationAblationRemovesTheSlowdownPenalty) {
+  Rng rng(34);
+  MechanismConfig config;
+  config.verify_actual_rates = false;
+  const TreeNetwork tree = TreeNetwork::random(8, rng, 0.5, 5.0, 0.05, 0.5);
+  for (std::size_t v = 1; v < tree.size(); ++v) {
+    const double t = tree.w(v);
+    const double truth_u = tree_utility_under_bid(tree, v, t, t, config);
+    const double slow_u = tree_utility_under_bid(tree, v, t, t * 1.7, config);
+    EXPECT_NEAR(slow_u, truth_u, 1e-12) << "node " << v;
+  }
+}
+
+TEST(DlsTree, UnaryTreeMatchesDlsLbl) {
+  const dls::net::LinearNetwork chain({1.0, 1.2, 0.8, 1.5},
+                                      {0.2, 0.15, 0.25});
+  const TreeNetwork tree = TreeNetwork::chain(
+      {chain.processing_times().begin(), chain.processing_times().end()},
+      {chain.link_times().begin(), chain.link_times().end()});
+  std::vector<double> actual(chain.processing_times().begin(),
+                             chain.processing_times().end());
+  const auto lbl =
+      dls::core::assess_compliant(chain, actual, MechanismConfig{});
+  const auto t = assess_dls_tree(tree, actual, MechanismConfig{});
+  // Allocations coincide exactly.
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_NEAR(t.solution.alpha[i], lbl.solution.alpha[i], 1e-12);
+  }
+  // Both formulations express the bonus as "parent-level equivalent
+  // improvement"; on a chain they are the same quantity: for node v,
+  // ρ_{p,-v} = w_{v-1} (the parent alone) and ρ̂_p = w̄_{v-1} realized.
+  for (std::size_t v = 1; v < chain.size(); ++v) {
+    EXPECT_NEAR(t.nodes[v].utility, lbl.processors[v].money.utility, 1e-9)
+        << "node " << v;
+  }
+}
+
+TEST(DlsTree, DepthOneTreeMatchesDlsStar) {
+  const dls::net::StarNetwork star(1.0, {2.0, 1.0, 1.4},
+                                   {0.3, 0.1, 0.2});
+  std::vector<double> worker_w = {2.0, 1.0, 1.4};
+  std::vector<double> worker_z = {0.3, 0.1, 0.2};
+  const TreeNetwork tree = TreeNetwork::star(1.0, worker_w, worker_z);
+  std::vector<double> star_actual = worker_w;
+  std::vector<double> tree_actual = {1.0, 2.0, 1.0, 1.4};
+  const auto st =
+      dls::core::assess_dls_star(star, star_actual, MechanismConfig{});
+  const auto tr = assess_dls_tree(tree, tree_actual, MechanismConfig{});
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(tr.nodes[i + 1].utility, st.workers[i].utility, 1e-9) << i;
+    EXPECT_NEAR(tr.nodes[i + 1].alpha, st.workers[i].alpha, 1e-12);
+  }
+}
+
+TEST(DlsTree, RejectsBadInputs) {
+  const TreeNetwork tree({1.0, 2.0}, {1.0, 0.3}, {0, 0});
+  EXPECT_THROW(
+      assess_dls_tree(tree, std::vector<double>{1.0}, MechanismConfig{}),
+      dls::PreconditionError);
+  EXPECT_THROW(
+      tree_utility_under_bid(tree, 0, 1.0, 1.0, MechanismConfig{}),
+      dls::PreconditionError);
+  EXPECT_THROW(
+      tree_utility_under_bid(tree, 1, 1.0, 0.5, MechanismConfig{}),
+      dls::PreconditionError);
+}
+
+}  // namespace

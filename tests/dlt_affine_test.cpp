@@ -1,0 +1,219 @@
+// Tests for the piecewise-linear machinery and the affine-cost chain
+// solver, including brute-force validation on small instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/tolerance.hpp"
+#include "dlt/affine.hpp"
+#include "dlt/linear.hpp"
+#include "dlt/piecewise.hpp"
+#include "net/networks.hpp"
+
+namespace {
+
+using dls::common::Rng;
+using dls::dlt::affine_finish_times;
+using dls::dlt::AffineChainSolution;
+using dls::dlt::PiecewiseLinear;
+using dls::dlt::solve_linear_boundary;
+using dls::dlt::solve_linear_boundary_affine;
+using dls::net::LinearNetwork;
+
+TEST(PiecewiseLinear, EvaluatesWithInterpolationAndClamping) {
+  const PiecewiseLinear f({{0.0, 1.0}, {1.0, 3.0}, {2.0, 3.0}});
+  EXPECT_DOUBLE_EQ(f(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(f(1.5), 3.0);
+  EXPECT_DOUBLE_EQ(f(-1.0), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(f(5.0), 3.0);   // clamped
+}
+
+TEST(PiecewiseLinear, AffineFactory) {
+  const auto f = PiecewiseLinear::affine(2.0, 3.0, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(f(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(f(0.5), 3.5);
+}
+
+TEST(PiecewiseLinear, MinFindsCrossings) {
+  const auto f = PiecewiseLinear::affine(0.0, 1.0, 0.0, 1.0);   // y = x
+  const auto g = PiecewiseLinear::affine(0.5, 0.0, 0.0, 1.0);   // y = 0.5
+  const auto m = PiecewiseLinear::min(f, g);
+  EXPECT_DOUBLE_EQ(m(0.2), 0.2);
+  EXPECT_DOUBLE_EQ(m(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(m(0.8), 0.5);
+  // Random cross-check against direct evaluation.
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_NEAR(m(x), std::min(f(x), g(x)), 1e-12);
+  }
+}
+
+TEST(PiecewiseLinear, PlusAffineShifts) {
+  const auto f = PiecewiseLinear::affine(1.0, 1.0, 0.0, 1.0);
+  const auto g = f.plus_affine(0.5, 2.0);
+  EXPECT_DOUBLE_EQ(g(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(g(1.0), 4.5);
+}
+
+TEST(PiecewiseLinear, SimplifyDropsCollinearPoints) {
+  PiecewiseLinear f({{0.0, 0.0}, {0.5, 0.5}, {1.0, 1.0}});
+  f.simplify();
+  EXPECT_EQ(f.points().size(), 2u);
+}
+
+TEST(PiecewiseLinear, RejectsBadBreakpoints) {
+  EXPECT_THROW(PiecewiseLinear({}), dls::PreconditionError);
+  EXPECT_THROW(PiecewiseLinear({{0.0, 0.0}, {0.0, 1.0}}),
+               dls::PreconditionError);
+}
+
+// ---------------------------------------------------------------------
+
+TEST(AffineSolver, ZeroStartupsReproduceAlgorithm1) {
+  Rng rng(61);
+  for (int rep = 0; rep < 15; ++rep) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 20));
+    const LinearNetwork net =
+        LinearNetwork::random(m + 1, rng, 0.5, 5.0, 0.05, 0.5);
+    const std::vector<double> zero(net.size(), 0.0);
+    const AffineChainSolution affine =
+        solve_linear_boundary_affine(net, zero);
+    const auto linear = solve_linear_boundary(net);
+    EXPECT_NEAR(affine.makespan, linear.makespan, 1e-9) << net.describe();
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      EXPECT_NEAR(affine.alpha[i], linear.alpha[i], 1e-7) << "P" << i;
+    }
+    EXPECT_EQ(affine.participants, net.size());
+  }
+}
+
+TEST(AffineSolver, FinishTimesEqualAmongParticipants) {
+  Rng rng(62);
+  for (int rep = 0; rep < 15; ++rep) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 15));
+    const LinearNetwork net =
+        LinearNetwork::random(m + 1, rng, 0.5, 5.0, 0.05, 0.5);
+    std::vector<double> startup(net.size());
+    for (auto& s : startup) s = rng.uniform(0.0, 0.3);
+    const AffineChainSolution sol =
+        solve_linear_boundary_affine(net, startup);
+    const auto finish = affine_finish_times(net, startup, sol.alpha);
+    double spread_lo = 1e300, spread_hi = 0.0;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      if (sol.alpha[i] <= 1e-12) continue;
+      spread_lo = std::min(spread_lo, finish[i]);
+      spread_hi = std::max(spread_hi, finish[i]);
+    }
+    // All computing processors finish together (the equalise option) —
+    // except possibly a keep-all truncation point, which ends the chain.
+    EXPECT_LE(dls::common::relative_error(spread_lo, spread_hi), 1e-6);
+    EXPECT_NEAR(spread_hi, sol.makespan, 1e-6 * std::max(1.0, spread_hi));
+  }
+}
+
+TEST(AffineSolver, UniformStartupsKeepEveryoneIn) {
+  // Startups are paid in parallel: a uniform startup shifts every finish
+  // time by the same amount and the linear allocation stays optimal.
+  const LinearNetwork net = LinearNetwork::uniform(8, 1.0, 0.2);
+  const std::vector<double> startup(net.size(), 3.0);
+  const AffineChainSolution sol = solve_linear_boundary_affine(net, startup);
+  EXPECT_EQ(sol.participants, net.size());
+  const auto linear = solve_linear_boundary(net);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_NEAR(sol.alpha[i], linear.alpha[i], 1e-6);
+  }
+  EXPECT_NEAR(sol.makespan, linear.makespan + 3.0, 1e-6);
+}
+
+TEST(AffineSolver, StartupGradientShrinksParticipation) {
+  // Startups that grow along the chain make deep processors too
+  // expensive to wake up: participation shrinks as the gradient grows.
+  const LinearNetwork net = LinearNetwork::uniform(8, 1.0, 0.2);
+  std::size_t last = net.size() + 1;
+  for (const double g : {0.0, 0.05, 0.2, 0.8, 3.0}) {
+    std::vector<double> startup(net.size());
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      startup[i] = g * static_cast<double>(i);
+    }
+    const AffineChainSolution sol =
+        solve_linear_boundary_affine(net, startup);
+    EXPECT_LE(sol.participants, last) << "gradient = " << g;
+    last = sol.participants;
+  }
+  // With colossal non-root startups only the root computes.
+  std::vector<double> huge(net.size(), 100.0);
+  huge[0] = 0.0;
+  EXPECT_EQ(solve_linear_boundary_affine(net, huge).participants, 1u);
+}
+
+TEST(AffineSolver, SkipsAProcessorWithPathologicalStartup) {
+  // P1 has a prohibitive startup but sits between two good machines: the
+  // optimum relays through it without paying s_1.
+  const LinearNetwork net({1.0, 1.0, 1.0}, {0.05, 0.05});
+  const std::vector<double> startup = {0.0, 5.0, 0.0};
+  const AffineChainSolution sol = solve_linear_boundary_affine(net, startup);
+  EXPECT_FALSE(sol.computes[1]);
+  EXPECT_GT(sol.alpha[0], 0.0);
+  EXPECT_GT(sol.alpha[2], 0.0);
+  EXPECT_DOUBLE_EQ(sol.alpha[1], 0.0);
+}
+
+TEST(AffineSolver, MakespanMonotoneInStartups) {
+  Rng rng(63);
+  const LinearNetwork net =
+      LinearNetwork::random(6, rng, 0.5, 5.0, 0.05, 0.5);
+  std::vector<double> startup(net.size(), 0.0);
+  double prev = solve_linear_boundary_affine(net, startup).makespan;
+  for (int step = 0; step < 6; ++step) {
+    for (auto& s : startup) s += 0.05;
+    const double cur = solve_linear_boundary_affine(net, startup).makespan;
+    EXPECT_GE(cur, prev - 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(AffineSolver, BruteForceAgreementOnThreeProcessors) {
+  // Exhaustive grid over (α_0, α_1) with α_2 = 1 − α_0 − α_1, including
+  // the boundary (skip) cases; the solver must match the grid optimum up
+  // to grid resolution.
+  Rng rng(64);
+  for (int rep = 0; rep < 6; ++rep) {
+    const LinearNetwork net =
+        LinearNetwork::random(3, rng, 0.5, 3.0, 0.05, 0.5);
+    std::vector<double> startup(3);
+    for (auto& s : startup) s = rng.uniform(0.0, 0.4);
+    const AffineChainSolution sol =
+        solve_linear_boundary_affine(net, startup);
+
+    constexpr int kGrid = 400;
+    double best = 1e300;
+    for (int a = 0; a <= kGrid; ++a) {
+      const double a0 = static_cast<double>(a) / kGrid;
+      for (int b = 0; a + b <= kGrid; ++b) {
+        const double a1 = static_cast<double>(b) / kGrid;
+        const std::vector<double> alpha = {a0, a1, 1.0 - a0 - a1};
+        const auto finish = affine_finish_times(net, startup, alpha);
+        best = std::min(best,
+                        *std::max_element(finish.begin(), finish.end()));
+      }
+    }
+    EXPECT_LE(sol.makespan, best + 1e-9) << "solver worse than grid";
+    EXPECT_GE(sol.makespan, best - 2.0 / kGrid) << "grid far below solver";
+  }
+}
+
+TEST(AffineSolver, RejectsBadInputs) {
+  const LinearNetwork net({1.0, 1.0}, {0.2});
+  EXPECT_THROW(
+      solve_linear_boundary_affine(net, std::vector<double>{0.0}),
+      dls::PreconditionError);
+  EXPECT_THROW(
+      solve_linear_boundary_affine(net, std::vector<double>{0.0, -1.0}),
+      dls::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Tests for interior-origination linear networks (the paper's future-work
+// variant).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dlt/interior.hpp"
+#include "dlt/star.hpp"
+#include "net/networks.hpp"
+
+namespace {
+
+using dls::common::Rng;
+using dls::dlt::ArmOrder;
+using dls::dlt::interior_finish_times;
+using dls::dlt::InteriorSolution;
+using dls::dlt::solve_linear_interior;
+using dls::dlt::solve_linear_interior_ordered;
+using dls::dlt::solve_star;
+using dls::net::InteriorLinearNetwork;
+using dls::net::StarNetwork;
+
+TEST(SolveInterior, ThreeNodeChainEqualsTwoWorkerStar) {
+  // With the root in the middle of a 3-node chain, both arms are single
+  // processors — exactly a 2-worker star.
+  const InteriorLinearNetwork chain({1.0, 1.0, 1.0}, {0.2, 0.2}, 1);
+  const StarNetwork star(1.0, {1.0, 1.0}, {0.2, 0.2});
+  const InteriorSolution is = solve_linear_interior(chain);
+  const auto ss = solve_star(star);
+  EXPECT_NEAR(is.makespan, ss.makespan, 1e-12);
+  EXPECT_NEAR(is.alpha[1], ss.alpha_root, 1e-12);
+  // The two workers' shares match the star's (order left/right vs 0/1).
+  EXPECT_NEAR(is.alpha[0] + is.alpha[2], ss.alpha[0] + ss.alpha[1], 1e-12);
+}
+
+TEST(SolveInterior, AllocationSumsToOne) {
+  Rng rng(3);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(3, 20));
+    std::vector<double> w(n), z(n - 1);
+    for (auto& x : w) x = rng.log_uniform(0.5, 5.0);
+    for (auto& x : z) x = rng.log_uniform(0.05, 0.5);
+    const auto root =
+        static_cast<std::size_t>(rng.uniform_int(1, static_cast<std::int64_t>(n) - 2));
+    const InteriorLinearNetwork net(w, z, root);
+    const InteriorSolution sol = solve_linear_interior(net);
+    double total = 0.0;
+    for (const double a : sol.alpha) {
+      EXPECT_GT(a, 0.0);
+      total += a;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_NEAR(sol.left_load + sol.right_load + sol.alpha[root], 1.0,
+                1e-12);
+  }
+}
+
+TEST(SolveInterior, EveryProcessorFinishesSimultaneously) {
+  Rng rng(5);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(3, 16));
+    std::vector<double> w(n), z(n - 1);
+    for (auto& x : w) x = rng.log_uniform(0.5, 5.0);
+    for (auto& x : z) x = rng.log_uniform(0.05, 0.5);
+    const auto root =
+        static_cast<std::size_t>(rng.uniform_int(1, static_cast<std::int64_t>(n) - 2));
+    const InteriorLinearNetwork net(w, z, root);
+    for (const ArmOrder order :
+         {ArmOrder::kLeftFirst, ArmOrder::kRightFirst}) {
+      const InteriorSolution sol =
+          solve_linear_interior_ordered(net, order);
+      const std::vector<double> t = interior_finish_times(net, sol);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(t[i], sol.makespan, 1e-9)
+            << "processor " << i << " order "
+            << (order == ArmOrder::kLeftFirst ? "LF" : "RF");
+      }
+    }
+  }
+}
+
+TEST(SolveInterior, PicksTheBetterOrder) {
+  Rng rng(7);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(4, 12));
+    std::vector<double> w(n), z(n - 1);
+    for (auto& x : w) x = rng.log_uniform(0.5, 5.0);
+    for (auto& x : z) x = rng.log_uniform(0.05, 0.5);
+    const auto root =
+        static_cast<std::size_t>(rng.uniform_int(1, static_cast<std::int64_t>(n) - 2));
+    const InteriorLinearNetwork net(w, z, root);
+    const double best = solve_linear_interior(net).makespan;
+    const double lf =
+        solve_linear_interior_ordered(net, ArmOrder::kLeftFirst).makespan;
+    const double rf =
+        solve_linear_interior_ordered(net, ArmOrder::kRightFirst).makespan;
+    EXPECT_NEAR(best, std::min(lf, rf), 1e-15);
+  }
+}
+
+TEST(SolveInterior, SymmetricChainIsOrderIndifferent) {
+  const InteriorLinearNetwork net({2.0, 1.0, 2.0}, {0.3, 0.3}, 1);
+  const double lf =
+      solve_linear_interior_ordered(net, ArmOrder::kLeftFirst).makespan;
+  const double rf =
+      solve_linear_interior_ordered(net, ArmOrder::kRightFirst).makespan;
+  EXPECT_NEAR(lf, rf, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,294 @@
+// Unit and property tests for the LINEAR BOUNDARY-LINEAR solver
+// (Algorithm 1) and the finish-time model of eqs. (2.1)-(2.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/tolerance.hpp"
+#include "dlt/baselines.hpp"
+#include "dlt/linear.hpp"
+#include "net/networks.hpp"
+
+namespace {
+
+using dls::common::Rng;
+using dls::dlt::baseline_equal;
+using dls::dlt::baseline_prefix_optimal;
+using dls::dlt::baseline_root_only;
+using dls::dlt::baseline_speed_proportional;
+using dls::dlt::finish_time_spread;
+using dls::dlt::finish_times;
+using dls::dlt::LinearSolution;
+using dls::dlt::makespan;
+using dls::dlt::pair_alpha_hat;
+using dls::dlt::pair_equivalent_w;
+using dls::dlt::pair_realized_w;
+using dls::dlt::solve_linear_boundary;
+using dls::net::LinearNetwork;
+
+TEST(PairReduction, MatchesEquation27) {
+  // α̂ w = (1-α̂)(z + w̄_tail) must hold exactly by construction.
+  const double w = 1.7, z = 0.3, tail = 2.4;
+  const double ah = pair_alpha_hat(w, z, tail);
+  EXPECT_NEAR(ah * w, (1.0 - ah) * (z + tail), 1e-15);
+  EXPECT_GT(ah, 0.0);
+  EXPECT_LT(ah, 1.0);
+  EXPECT_NEAR(pair_equivalent_w(w, z, tail), ah * w, 1e-15);
+}
+
+TEST(PairReduction, EquivalentIsFasterThanFront) {
+  // Adding a helper chain can only speed the front processor up:
+  // w̄ = α̂ w < w.
+  for (const double w : {0.5, 1.0, 4.0}) {
+    for (const double z : {0.01, 0.3, 2.0}) {
+      for (const double tail : {0.2, 1.0, 9.0}) {
+        EXPECT_LT(pair_equivalent_w(w, z, tail), w);
+      }
+    }
+  }
+}
+
+TEST(PairReduction, RealizedEqualsPlannedWhenTailTruthful) {
+  const double w = 1.3, z = 0.2, tail = 0.9;
+  const double ah = pair_alpha_hat(w, z, tail);
+  EXPECT_NEAR(pair_realized_w(ah, w, z, tail), ah * w, 1e-12);
+}
+
+TEST(PairReduction, RealizedGrowsWhenTailSlower) {
+  const double w = 1.3, z = 0.2, tail = 0.9;
+  const double ah = pair_alpha_hat(w, z, tail);
+  const double planned = pair_realized_w(ah, w, z, tail);
+  EXPECT_GT(pair_realized_w(ah, w, z, tail * 1.5), planned);
+  // A faster-than-bid tail cannot shrink the pair below the plan: the
+  // front processor's own computation pins it.
+  EXPECT_NEAR(pair_realized_w(ah, w, z, tail * 0.5), planned, 1e-12);
+}
+
+TEST(SolveLinearBoundary, SingleProcessor) {
+  const LinearNetwork net({2.5}, {});
+  const LinearSolution sol = solve_linear_boundary(net);
+  ASSERT_EQ(sol.alpha.size(), 1u);
+  EXPECT_DOUBLE_EQ(sol.alpha[0], 1.0);
+  EXPECT_DOUBLE_EQ(sol.makespan, 2.5);
+  EXPECT_TRUE(sol.steps.empty());
+}
+
+TEST(SolveLinearBoundary, TwoProcessorGolden) {
+  // w0=1, w1=2, z1=0.5: hand-solved α = (5/7, 2/7), T = 5/7.
+  const LinearNetwork net({1.0, 2.0}, {0.5});
+  const LinearSolution sol = solve_linear_boundary(net);
+  EXPECT_NEAR(sol.alpha_hat[0], 5.0 / 7.0, 1e-15);
+  EXPECT_NEAR(sol.alpha[0], 5.0 / 7.0, 1e-15);
+  EXPECT_NEAR(sol.alpha[1], 2.0 / 7.0, 1e-15);
+  EXPECT_NEAR(sol.makespan, 5.0 / 7.0, 1e-15);
+  EXPECT_NEAR(sol.equivalent_w[1], 2.0, 1e-15);
+  ASSERT_EQ(sol.steps.size(), 1u);
+  EXPECT_EQ(sol.steps[0].index, 0u);
+  EXPECT_NEAR(sol.steps[0].tail_w, 2.0, 1e-15);
+}
+
+TEST(SolveLinearBoundary, ThreeProcessorGolden) {
+  // w = (1,1,1), z = (0.2,0.2): hand-solved α = (41, 30, 25)/96.
+  const LinearNetwork net({1.0, 1.0, 1.0}, {0.2, 0.2});
+  const LinearSolution sol = solve_linear_boundary(net);
+  EXPECT_NEAR(sol.alpha[0], 41.0 / 96.0, 1e-12);
+  EXPECT_NEAR(sol.alpha[1], 30.0 / 96.0, 1e-12);
+  EXPECT_NEAR(sol.alpha[2], 25.0 / 96.0, 1e-12);
+  EXPECT_NEAR(sol.makespan, 41.0 / 96.0, 1e-12);
+  EXPECT_NEAR(sol.alpha_hat[1], 6.0 / 11.0, 1e-12);
+  EXPECT_NEAR(sol.received[1], 55.0 / 96.0, 1e-12);
+  EXPECT_NEAR(sol.received[2], 25.0 / 96.0, 1e-12);
+}
+
+TEST(FinishTimes, MatchClosedFormOnGolden) {
+  const LinearNetwork net({1.0, 1.0, 1.0}, {0.2, 0.2});
+  const LinearSolution sol = solve_linear_boundary(net);
+  const std::vector<double> t = finish_times(net, sol.alpha);
+  for (const double ti : t) EXPECT_NEAR(ti, 41.0 / 96.0, 1e-12);
+}
+
+TEST(FinishTimes, ZeroAllocationReportsZero) {
+  const LinearNetwork net({1.0, 1.0, 1.0}, {0.2, 0.2});
+  const std::vector<double> alpha = {0.6, 0.0, 0.4};
+  const std::vector<double> t = finish_times(net, alpha);
+  EXPECT_DOUBLE_EQ(t[1], 0.0);
+  // P_2 still waits for the load to transit both links.
+  EXPECT_NEAR(t[2], 0.4 * 0.2 + 0.4 * 0.2 + 0.4 * 1.0, 1e-12);
+}
+
+TEST(FinishTimes, RejectsBadAllocations) {
+  const LinearNetwork net({1.0, 1.0}, {0.2});
+  EXPECT_THROW(finish_times(net, std::vector<double>{0.5}),
+               dls::PreconditionError);
+  EXPECT_THROW(finish_times(net, std::vector<double>{-0.1, 0.5}),
+               dls::PreconditionError);
+  EXPECT_THROW(finish_times(net, std::vector<double>{0.9, 0.9}),
+               dls::PreconditionError);
+}
+
+// ---------------------------------------------------------------------
+// Property sweeps over random instances.
+
+class LinearSolverProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  LinearNetwork random_network(Rng& rng) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 40));
+    return LinearNetwork::random(m + 1, rng, 0.5, 5.0, 0.05, 0.5);
+  }
+};
+
+TEST_P(LinearSolverProperty, AllocationIsOnTheSimplex) {
+  Rng rng(GetParam());
+  for (int rep = 0; rep < 20; ++rep) {
+    const LinearNetwork net = random_network(rng);
+    const LinearSolution sol = solve_linear_boundary(net);
+    double total = 0.0;
+    for (const double a : sol.alpha) {
+      EXPECT_GT(a, 0.0);
+      total += a;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST_P(LinearSolverProperty, Theorem21AllFinishSimultaneously) {
+  Rng rng(GetParam() ^ 0x5eedu);
+  for (int rep = 0; rep < 20; ++rep) {
+    const LinearNetwork net = random_network(rng);
+    const LinearSolution sol = solve_linear_boundary(net);
+    EXPECT_LE(finish_time_spread(net, sol.alpha), 1e-9)
+        << net.describe();
+    EXPECT_NEAR(makespan(net, sol.alpha), sol.makespan, 1e-9);
+  }
+}
+
+TEST_P(LinearSolverProperty, EquivalentTimesMatchSuffixSolves) {
+  Rng rng(GetParam() ^ 0xabcdu);
+  const LinearNetwork net = random_network(rng);
+  const LinearSolution sol = solve_linear_boundary(net);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const LinearSolution suffix_sol = solve_linear_boundary(net.suffix(i));
+    EXPECT_NEAR(sol.equivalent_w[i], suffix_sol.makespan, 1e-12)
+        << "suffix " << i;
+  }
+}
+
+TEST_P(LinearSolverProperty, LocalPerturbationsNeverImprove) {
+  // Theorem 2.1 optimality: shifting ε of load between any two
+  // processors cannot reduce the makespan.
+  Rng rng(GetParam() ^ 0x9999u);
+  for (int rep = 0; rep < 5; ++rep) {
+    const LinearNetwork net = random_network(rng);
+    const LinearSolution sol = solve_linear_boundary(net);
+    const double base = makespan(net, sol.alpha);
+    for (int trial = 0; trial < 30; ++trial) {
+      const auto from = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(net.size()) - 1));
+      const auto to = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(net.size()) - 1));
+      if (from == to) continue;
+      const double eps = std::min(1e-4, sol.alpha[from] * 0.5);
+      std::vector<double> alpha = sol.alpha;
+      alpha[from] -= eps;
+      alpha[to] += eps;
+      EXPECT_GE(makespan(net, alpha), base - 1e-12);
+    }
+  }
+}
+
+TEST_P(LinearSolverProperty, SlowerBidGetsLessLoad) {
+  Rng rng(GetParam() ^ 0x7777u);
+  const LinearNetwork net = random_network(rng);
+  const LinearSolution before = solve_linear_boundary(net);
+  const auto i = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(net.size()) - 1));
+  const LinearNetwork slower = net.with_processing_time(i, net.w(i) * 2.0);
+  const LinearSolution after = solve_linear_boundary(slower);
+  EXPECT_LT(after.alpha[i], before.alpha[i]);
+  // And the whole system cannot get faster when one member slows down.
+  EXPECT_GE(after.makespan, before.makespan - 1e-12);
+}
+
+TEST_P(LinearSolverProperty, BaselinesNeverBeatOptimal) {
+  Rng rng(GetParam() ^ 0x4242u);
+  for (int rep = 0; rep < 10; ++rep) {
+    const LinearNetwork net = random_network(rng);
+    const double opt = solve_linear_boundary(net).makespan;
+    EXPECT_GE(makespan(net, baseline_equal(net.size())), opt - 1e-12);
+    EXPECT_GE(makespan(net, baseline_speed_proportional(net)), opt - 1e-12);
+    EXPECT_GE(makespan(net, baseline_root_only(net.size())), opt - 1e-12);
+    for (std::size_t k = 1; k <= net.size(); ++k) {
+      EXPECT_GE(makespan(net, baseline_prefix_optimal(net, k)), opt - 1e-12);
+    }
+  }
+}
+
+TEST_P(LinearSolverProperty, PrefixOptimalImprovesWithMoreProcessors) {
+  // Under the linear cost model adding one more chain member (with the
+  // optimal split) never hurts.
+  Rng rng(GetParam() ^ 0x3131u);
+  const LinearNetwork net = random_network(rng);
+  double prev = makespan(net, baseline_prefix_optimal(net, 1));
+  for (std::size_t k = 2; k <= net.size(); ++k) {
+    const double cur = makespan(net, baseline_prefix_optimal(net, k));
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinearSolverProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u));
+
+// ---------------------------------------------------------------------
+// Numerical robustness at extreme scales.
+
+TEST(NumericalRobustness, MicrosecondScaleRates) {
+  Rng rng(404);
+  const LinearNetwork net =
+      LinearNetwork::random(12, rng, 1e-7, 1e-5, 1e-8, 1e-6);
+  const LinearSolution sol = solve_linear_boundary(net);
+  double total = 0.0;
+  for (const double a : sol.alpha) total += a;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_LE(finish_time_spread(net, sol.alpha), 1e-9);
+}
+
+TEST(NumericalRobustness, MegasecondScaleRates) {
+  Rng rng(405);
+  const LinearNetwork net =
+      LinearNetwork::random(12, rng, 1e5, 1e7, 1e4, 1e6);
+  const LinearSolution sol = solve_linear_boundary(net);
+  EXPECT_LE(finish_time_spread(net, sol.alpha), 1e-9);
+  EXPECT_NEAR(sol.makespan, makespan(net, sol.alpha), 1e-9 * sol.makespan);
+}
+
+TEST(NumericalRobustness, WildlyMixedScales) {
+  // A supercomputer chained behind a potato over a dial-up link.
+  const LinearNetwork net({1e-6, 1e3, 1e-6, 1e3}, {1e-4, 10.0, 1e-4});
+  const LinearSolution sol = solve_linear_boundary(net);
+  double total = 0.0;
+  for (const double a : sol.alpha) {
+    EXPECT_GE(a, 0.0);
+    total += a;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_LE(finish_time_spread(net, sol.alpha), 1e-6);
+}
+
+TEST(NumericalRobustness, VeryLongChainsStayConsistent) {
+  Rng rng(406);
+  const LinearNetwork net =
+      LinearNetwork::random(5000, rng, 0.5, 5.0, 0.05, 0.5);
+  const LinearSolution sol = solve_linear_boundary(net);
+  double total = 0.0;
+  for (const double a : sol.alpha) total += a;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_LE(finish_time_spread(net, sol.alpha), 1e-8);
+  // Deep allocations underflow toward zero but must stay non-negative.
+  EXPECT_GE(sol.alpha.back(), 0.0);
+}
+
+}  // namespace

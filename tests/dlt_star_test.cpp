@@ -1,0 +1,115 @@
+// Tests for the star/bus solvers.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/tolerance.hpp"
+#include "dlt/linear.hpp"
+#include "dlt/star.hpp"
+#include "net/networks.hpp"
+
+namespace {
+
+using dls::common::Rng;
+using dls::dlt::solve_bus;
+using dls::dlt::solve_linear_boundary;
+using dls::dlt::solve_star;
+using dls::dlt::solve_star_ordered;
+using dls::dlt::star_finish_times;
+using dls::dlt::StarSolution;
+using dls::net::BusNetwork;
+using dls::net::LinearNetwork;
+using dls::net::StarNetwork;
+
+TEST(SolveStar, SingleWorkerMatchesTwoProcessorChain) {
+  // A one-worker star is exactly a two-processor chain.
+  const StarNetwork star(1.0, {2.0}, {0.5});
+  const LinearNetwork chain({1.0, 2.0}, {0.5});
+  const StarSolution s = solve_star(star);
+  const auto c = solve_linear_boundary(chain);
+  EXPECT_NEAR(s.alpha_root, c.alpha[0], 1e-12);
+  EXPECT_NEAR(s.alpha[0], c.alpha[1], 1e-12);
+  EXPECT_NEAR(s.makespan, c.makespan, 1e-12);
+}
+
+TEST(SolveStar, TwoWorkerGolden) {
+  // root w0=1; workers w=(1,1), z=(0.2,0.2): α = (36, 30, 25)/91.
+  const StarNetwork star(1.0, {1.0, 1.0}, {0.2, 0.2});
+  const StarSolution s = solve_star(star);
+  EXPECT_NEAR(s.alpha_root, 36.0 / 91.0, 1e-12);
+  EXPECT_NEAR(s.alpha[0], 30.0 / 91.0, 1e-12);
+  EXPECT_NEAR(s.alpha[1], 25.0 / 91.0, 1e-12);
+  EXPECT_NEAR(s.makespan, 36.0 / 91.0, 1e-12);
+}
+
+TEST(SolveStar, FinishTimesAreEqualAtOptimum) {
+  Rng rng(77);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 15));
+    const StarNetwork star =
+        StarNetwork::random(m, rng, 0.5, 5.0, 0.05, 0.5, rep % 2 == 0);
+    const StarSolution s = solve_star(star);
+    const std::vector<double> t = star_finish_times(star, s);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (i == 0 && !star.root_computes()) continue;
+      EXPECT_NEAR(t[i], s.makespan, 1e-9) << "participant " << i;
+    }
+    double total = s.alpha_root;
+    for (const double a : s.alpha) total += a;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(SolveStar, FastestLinkFirstBeatsOtherOrders) {
+  Rng rng(101);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(2, 8));
+    const StarNetwork star =
+        StarNetwork::random(m, rng, 0.5, 5.0, 0.05, 0.5, true);
+    const double best = solve_star(star).makespan;
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<std::size_t> order(m);
+      for (std::size_t i = 0; i < m; ++i) order[i] = i;
+      rng.shuffle(order);
+      EXPECT_GE(solve_star_ordered(star, order).makespan, best - 1e-9);
+    }
+  }
+}
+
+TEST(SolveStar, RejectsNonPermutationOrders) {
+  const StarNetwork star(1.0, {1.0, 2.0}, {0.1, 0.2});
+  EXPECT_THROW(solve_star_ordered(star, {0}), dls::PreconditionError);
+  EXPECT_THROW(solve_star_ordered(star, {0, 0}), dls::PreconditionError);
+  EXPECT_THROW(solve_star_ordered(star, {0, 5}), dls::PreconditionError);
+}
+
+TEST(SolveStar, NonComputingRootStillDistributesEverything) {
+  const StarNetwork star(0.0, {1.0, 2.0}, {0.1, 0.2});
+  const StarSolution s = solve_star(star);
+  EXPECT_DOUBLE_EQ(s.alpha_root, 0.0);
+  EXPECT_NEAR(s.alpha[0] + s.alpha[1], 1.0, 1e-12);
+}
+
+TEST(SolveBus, EqualsStarWithSharedChannel) {
+  const BusNetwork bus(1.0, {1.0, 2.0, 3.0}, 0.2);
+  const StarSolution via_bus = solve_bus(bus);
+  const StarSolution via_star = solve_star(bus.as_star());
+  EXPECT_NEAR(via_bus.makespan, via_star.makespan, 1e-15);
+  for (std::size_t i = 0; i < via_bus.alpha.size(); ++i) {
+    EXPECT_NEAR(via_bus.alpha[i], via_star.alpha[i], 1e-15);
+  }
+}
+
+TEST(SolveBus, MoreWorkersNeverHurt) {
+  Rng rng(55);
+  std::vector<double> w = {2.0};
+  double prev = solve_bus(BusNetwork(1.0, w, 0.2)).makespan;
+  for (int k = 0; k < 8; ++k) {
+    w.push_back(rng.log_uniform(0.5, 5.0));
+    const double cur = solve_bus(BusNetwork(1.0, w, 0.2)).makespan;
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+}
+
+}  // namespace

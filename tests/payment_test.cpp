@@ -1,0 +1,93 @@
+// Tests for the double-entry ledger.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "payment/ledger.hpp"
+
+namespace {
+
+using dls::payment::kTreasury;
+using dls::payment::Ledger;
+using dls::payment::Transfer;
+using dls::payment::TransferKind;
+
+TEST(Ledger, OpenAndQueryAccounts) {
+  Ledger ledger;
+  ledger.open_account(1);
+  EXPECT_TRUE(ledger.has_account(1));
+  EXPECT_TRUE(ledger.has_account(kTreasury));
+  EXPECT_FALSE(ledger.has_account(2));
+  EXPECT_DOUBLE_EQ(ledger.balance(1), 0.0);
+}
+
+TEST(Ledger, ReopeningIsAnError) {
+  Ledger ledger;
+  ledger.open_account(1);
+  EXPECT_THROW(ledger.open_account(1), dls::PreconditionError);
+  EXPECT_THROW(ledger.open_account(kTreasury), dls::PreconditionError);
+}
+
+TEST(Ledger, PostMovesMoneyBothWays) {
+  Ledger ledger;
+  ledger.open_account(1);
+  ledger.post({kTreasury, 1, TransferKind::kBonus, 5.0, "bonus"});
+  EXPECT_DOUBLE_EQ(ledger.balance(1), 5.0);
+  EXPECT_DOUBLE_EQ(ledger.treasury_balance(), -5.0);
+  EXPECT_DOUBLE_EQ(ledger.mechanism_outlay(), 5.0);
+  ledger.post({1, kTreasury, TransferKind::kFine, 2.0, "fine"});
+  EXPECT_DOUBLE_EQ(ledger.balance(1), 3.0);
+  EXPECT_DOUBLE_EQ(ledger.treasury_balance(), -3.0);
+}
+
+TEST(Ledger, ConservationAlwaysHolds) {
+  Ledger ledger;
+  ledger.open_account(1);
+  ledger.open_account(2);
+  ledger.post({kTreasury, 1, TransferKind::kCompensation, 3.25, ""});
+  ledger.post({1, 2, TransferKind::kAdjustment, 1.5, ""});
+  ledger.post({2, kTreasury, TransferKind::kAuditPenalty, 0.75, ""});
+  EXPECT_NEAR(ledger.conservation_residual(), 0.0, 1e-12);
+  EXPECT_EQ(ledger.history().size(), 3u);
+}
+
+TEST(Ledger, NetOfKindSeparatesFlows) {
+  Ledger ledger;
+  ledger.open_account(1);
+  ledger.post({kTreasury, 1, TransferKind::kBonus, 5.0, ""});
+  ledger.post({kTreasury, 1, TransferKind::kReward, 2.0, ""});
+  ledger.post({1, kTreasury, TransferKind::kBonus, 1.0, ""});
+  EXPECT_DOUBLE_EQ(ledger.net_of_kind(1, TransferKind::kBonus), 4.0);
+  EXPECT_DOUBLE_EQ(ledger.net_of_kind(1, TransferKind::kReward), 2.0);
+  EXPECT_DOUBLE_EQ(ledger.net_of_kind(1, TransferKind::kFine), 0.0);
+}
+
+TEST(Ledger, RejectsBadTransfers) {
+  Ledger ledger;
+  ledger.open_account(1);
+  EXPECT_THROW(
+      ledger.post({kTreasury, 99, TransferKind::kBonus, 1.0, ""}),
+      dls::PreconditionError);
+  EXPECT_THROW(
+      ledger.post({kTreasury, 1, TransferKind::kBonus, -1.0, ""}),
+      dls::PreconditionError);
+  EXPECT_THROW(ledger.balance(99), dls::PreconditionError);
+}
+
+TEST(Ledger, PrintMentionsTransfers) {
+  Ledger ledger;
+  ledger.open_account(3);
+  ledger.post({kTreasury, 3, TransferKind::kBonus, 1.5, "hello"});
+  std::ostringstream os;
+  ledger.print(os);
+  EXPECT_NE(os.str().find("bonus"), std::string::npos);
+  EXPECT_NE(os.str().find("hello"), std::string::npos);
+  EXPECT_NE(os.str().find("P3"), std::string::npos);
+}
+
+TEST(TransferKind, Names) {
+  EXPECT_EQ(to_string(TransferKind::kFine), "fine");
+  EXPECT_EQ(to_string(TransferKind::kSolutionBonus), "solution-bonus");
+}
+
+}  // namespace

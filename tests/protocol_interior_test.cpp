@@ -1,0 +1,111 @@
+// Tests for the interior-origination protocol (arm-wise composition).
+#include <gtest/gtest.h>
+
+#include "agents/agent.hpp"
+#include "common/error.hpp"
+#include "core/dls_interior.hpp"
+#include "net/networks.hpp"
+#include "protocol/interior_runner.hpp"
+
+namespace {
+
+using dls::agents::Behavior;
+using dls::agents::Population;
+using dls::agents::StrategicAgent;
+using dls::net::InteriorLinearNetwork;
+using dls::protocol::InteriorRunReport;
+using dls::protocol::run_interior_protocol;
+
+//   P0 - P1 - [P2 root] - P3 - P4
+InteriorLinearNetwork test_network() {
+  return InteriorLinearNetwork({1.1, 0.8, 1.0, 1.3, 0.9},
+                               {0.15, 0.1, 0.2, 0.12}, 2);
+}
+
+/// Left arm agents in arm order (root's neighbour first): P1 then P0.
+Population left_agents(Behavior p1 = {}, Behavior p0 = {}) {
+  return Population({StrategicAgent{1, 0.8, std::move(p1)},
+                     StrategicAgent{2, 1.1, std::move(p0)}});
+}
+
+/// Right arm agents: P3 then P4.
+Population right_agents(Behavior p3 = {}, Behavior p4 = {}) {
+  return Population({StrategicAgent{1, 1.3, std::move(p3)},
+                     StrategicAgent{2, 0.9, std::move(p4)}});
+}
+
+TEST(InteriorProtocol, HonestRoundMatchesCentralMechanism) {
+  const InteriorRunReport report = run_interior_protocol(
+      test_network(), left_agents(), right_agents(), {});
+  ASSERT_FALSE(report.aborted);
+
+  const InteriorLinearNetwork net = test_network();
+  std::vector<double> rates(net.size());
+  for (std::size_t i = 0; i < net.size(); ++i) rates[i] = net.w(i);
+  const auto central = dls::core::assess_dls_interior(
+      net, rates, dls::core::MechanismConfig{});
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_NEAR(report.processors[i].utility,
+                central.processors[i].money.utility, 1e-9)
+        << "P" << i;
+    EXPECT_NEAR(report.processors[i].assigned, central.processors[i].alpha,
+                1e-9)
+        << "P" << i;
+  }
+  EXPECT_DOUBLE_EQ(report.processors[2].utility, 0.0);  // the root
+  // Internal consistency of the merged reports.
+  for (const auto& p : report.processors) {
+    EXPECT_NEAR(p.utility, p.valuation + p.payment - p.fines + p.rewards,
+                1e-9);
+  }
+}
+
+TEST(InteriorProtocol, AllocationCoversTheUnitLoad) {
+  const InteriorRunReport report = run_interior_protocol(
+      test_network(), left_agents(), right_agents(), {});
+  double total = 0.0;
+  // The root's own share comes from the solution; strategic shares from
+  // the merged reports.
+  total += report.solution.alpha[2];
+  for (std::size_t i = 0; i < report.processors.size(); ++i) {
+    if (i == 2) continue;
+    total += report.processors[i].assigned;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(InteriorProtocol, DeviantOnOneArmDoesNotAbortTheOther) {
+  const InteriorRunReport report = run_interior_protocol(
+      test_network(), left_agents(Behavior::contradictor()), right_agents(),
+      {});
+  EXPECT_TRUE(report.aborted);
+  EXPECT_TRUE(report.left.aborted);
+  EXPECT_FALSE(report.right.aborted);
+  EXPECT_NE(report.abort_reason.find("left arm"), std::string::npos);
+  // The contradictor (arm position 1 = network P1) was fined.
+  EXPECT_LT(report.processors[1].utility, 0.0);
+}
+
+TEST(InteriorProtocol, SheddingOnTheRightArmIsFined) {
+  const InteriorRunReport honest = run_interior_protocol(
+      test_network(), left_agents(), right_agents(), {});
+  const InteriorRunReport report = run_interior_protocol(
+      test_network(), left_agents(),
+      right_agents(Behavior::load_shedder(0.5)), {});
+  EXPECT_FALSE(report.aborted);
+  ASSERT_FALSE(report.right.incidents.empty());
+  EXPECT_LT(report.processors[3].utility, honest.processors[3].utility);
+  EXPECT_LT(report.processors[3].utility, 0.0);
+}
+
+TEST(InteriorProtocol, ValidatesArmSizes) {
+  const Population one_agent({StrategicAgent{1, 1.0, {}}});
+  EXPECT_THROW(run_interior_protocol(test_network(), one_agent,
+                                     right_agents(), {}),
+               dls::PreconditionError);
+  EXPECT_THROW(run_interior_protocol(test_network(), left_agents(),
+                                     one_agent, {}),
+               dls::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,322 @@
+// End-to-end tests for the four-phase protocol: honest rounds, every
+// deviation class of Lemma 5.1, and the economics of Theorems 5.1-5.4.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "agents/agent.hpp"
+#include "common/rng.hpp"
+#include "net/networks.hpp"
+#include "protocol/runner.hpp"
+
+namespace {
+
+using dls::agents::Behavior;
+using dls::agents::Population;
+using dls::agents::StrategicAgent;
+using dls::common::Rng;
+using dls::net::LinearNetwork;
+using dls::protocol::Incident;
+using dls::protocol::ProtocolOptions;
+using dls::protocol::run_protocol;
+using dls::protocol::RunReport;
+
+LinearNetwork test_network() {
+  return LinearNetwork({1.0, 1.2, 0.8, 1.5}, {0.2, 0.15, 0.25});
+}
+
+Population truthful_population() {
+  return Population({StrategicAgent{1, 1.2, Behavior::truthful()},
+                     StrategicAgent{2, 0.8, Behavior::truthful()},
+                     StrategicAgent{3, 1.5, Behavior::truthful()}});
+}
+
+Population with_behavior(std::size_t index, Behavior behavior) {
+  Population pop = truthful_population();
+  pop.agent(index).behavior = std::move(behavior);
+  return pop;
+}
+
+RunReport run(const Population& pop, ProtocolOptions options = {}) {
+  return run_protocol(test_network(), pop, options);
+}
+
+TEST(ProtocolRunner, HonestRoundHasNoIncidents) {
+  const RunReport report = run(truthful_population());
+  EXPECT_FALSE(report.aborted);
+  EXPECT_TRUE(report.incidents.empty());
+  EXPECT_TRUE(report.solution_found);
+  ASSERT_TRUE(report.execution.has_value());
+  // Everyone computed their assignment and ended with non-negative
+  // utility (voluntary participation).
+  for (std::size_t i = 1; i < report.processors.size(); ++i) {
+    const auto& p = report.processors[i];
+    EXPECT_NEAR(p.computed, p.assigned, 1e-9);
+    EXPECT_GE(p.utility, 0.0) << "P" << i;
+    EXPECT_DOUBLE_EQ(p.fines, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(report.processors[0].utility, 0.0);
+  EXPECT_NEAR(report.ledger.conservation_residual(), 0.0, 1e-9);
+  EXPECT_NEAR(report.makespan, report.solution.makespan, 1e-9);
+}
+
+TEST(ProtocolRunner, HonestUtilitiesMatchCentralAssessment) {
+  const RunReport report = run(truthful_population());
+  for (std::size_t i = 1; i < report.processors.size(); ++i) {
+    EXPECT_NEAR(report.processors[i].utility,
+                report.assessment.processors[i].money.utility, 1e-9);
+  }
+}
+
+TEST(ProtocolRunner, ContradictoryMessagesAbortAndFine) {
+  const RunReport report = run(with_behavior(2, Behavior::contradictor()));
+  EXPECT_TRUE(report.aborted);
+  ASSERT_EQ(report.incidents.size(), 1u);
+  const Incident& inc = report.incidents[0];
+  EXPECT_EQ(inc.kind, Incident::Kind::kContradictoryMessages);
+  EXPECT_EQ(inc.accused, 2u);
+  EXPECT_EQ(inc.reporter, 1u);
+  EXPECT_TRUE(inc.substantiated);
+  // The deviant loses the fine; the reporter pockets it.
+  EXPECT_LT(report.processors[2].utility, 0.0);
+  EXPECT_GT(report.processors[1].utility, 0.0);
+  // Bystanders get zero.
+  EXPECT_DOUBLE_EQ(report.processors[3].utility, 0.0);
+}
+
+TEST(ProtocolRunner, MiscomputationDetectedByTheSuccessor) {
+  const RunReport report = run(with_behavior(1, Behavior::miscomputer()));
+  EXPECT_TRUE(report.aborted);
+  ASSERT_EQ(report.incidents.size(), 1u);
+  const Incident& inc = report.incidents[0];
+  EXPECT_EQ(inc.kind, Incident::Kind::kMiscomputation);
+  EXPECT_EQ(inc.accused, 1u);
+  EXPECT_EQ(inc.reporter, 2u);
+  EXPECT_LT(report.processors[1].utility, 0.0);
+  EXPECT_GT(report.processors[2].utility, 0.0);
+}
+
+TEST(ProtocolRunner, LoadSheddingIsDetectedFinedAndUnprofitable) {
+  const RunReport honest = run(truthful_population());
+  const RunReport report =
+      run(with_behavior(1, Behavior::load_shedder(0.4)));
+  EXPECT_FALSE(report.aborted);  // the round completes; the shedder pays
+  ASSERT_FALSE(report.incidents.empty());
+  const Incident& inc = report.incidents[0];
+  EXPECT_EQ(inc.kind, Incident::Kind::kLoadShedding);
+  EXPECT_EQ(inc.accused, 1u);
+  EXPECT_EQ(inc.reporter, 2u);
+  EXPECT_TRUE(inc.substantiated);
+  // Theorem 5.1: deviation strictly worse than compliance.
+  EXPECT_LT(report.processors[1].utility, honest.processors[1].utility);
+  EXPECT_LT(report.processors[1].utility, 0.0);
+  // The victim is compensated for the extra work and rewarded.
+  EXPECT_GE(report.processors[2].utility,
+            honest.processors[2].utility - 1e-9);
+}
+
+TEST(ProtocolRunner, SlowExecutionLowersUtilityWithoutFines) {
+  const RunReport honest = run(truthful_population());
+  const RunReport report =
+      run(with_behavior(2, Behavior::slow_execution(1.5)));
+  EXPECT_FALSE(report.aborted);
+  EXPECT_TRUE(report.incidents.empty());  // not a finable offence
+  // Lemma 5.3 case (ii): the bonus shrinks because ŵ grows.
+  EXPECT_LT(report.processors[2].utility, honest.processors[2].utility);
+  EXPECT_DOUBLE_EQ(report.processors[2].fines, 0.0);
+}
+
+TEST(ProtocolRunner, OverchargeCaughtByAuditIsRuinous) {
+  ProtocolOptions options;
+  options.mechanism.audit_probability = 1.0;  // always challenged
+  const RunReport honest = run(truthful_population(), options);
+  const RunReport report =
+      run(with_behavior(2, Behavior::overcharger(0.5)), options);
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_EQ(report.incidents[0].kind, Incident::Kind::kOvercharge);
+  EXPECT_EQ(report.incidents[0].accused, 2u);
+  // Paid the correct amount AND fined F/q.
+  EXPECT_NEAR(report.processors[2].payment, honest.processors[2].payment,
+              1e-9);
+  EXPECT_LT(report.processors[2].utility, honest.processors[2].utility);
+  EXPECT_LT(report.processors[2].utility, 0.0);
+}
+
+TEST(ProtocolRunner, OverchargeIsUnprofitableInExpectation) {
+  // E[gain] = (1-q)·x − F must be negative for any x the cheat can
+  // extract; across many seeds the empirical mean utility must fall
+  // below the honest one.
+  ProtocolOptions options;
+  options.mechanism.audit_probability = 0.25;
+  const RunReport honest = run(truthful_population(), options);
+  double total = 0.0;
+  constexpr int kRuns = 64;
+  for (int s = 0; s < kRuns; ++s) {
+    options.seed = static_cast<std::uint64_t>(s) + 1;
+    const RunReport report =
+        run(with_behavior(2, Behavior::overcharger(0.5)), options);
+    total += report.processors[2].utility;
+  }
+  EXPECT_LT(total / kRuns, honest.processors[2].utility);
+}
+
+TEST(ProtocolRunner, FalseAccusationBackfires) {
+  const RunReport report = run(with_behavior(2, Behavior::false_accuser()));
+  EXPECT_FALSE(report.aborted);  // exculpation does not end the round
+  ASSERT_FALSE(report.incidents.empty());
+  const Incident& inc = report.incidents[0];
+  EXPECT_EQ(inc.kind, Incident::Kind::kFalseAccusation);
+  EXPECT_EQ(inc.reporter, 2u);
+  EXPECT_EQ(inc.accused, 1u);
+  EXPECT_FALSE(inc.substantiated);
+  // The accuser pays, the accused is made more than whole.
+  const RunReport honest = run(truthful_population());
+  EXPECT_LT(report.processors[2].utility, honest.processors[2].utility);
+  EXPECT_GT(report.processors[1].utility, honest.processors[1].utility);
+}
+
+TEST(ProtocolRunner, DataCorruptionCostsTheSolutionBonus) {
+  ProtocolOptions options;
+  options.mechanism.solution_bonus_enabled = true;
+  options.mechanism.solution_bonus = 0.05;
+  const RunReport honest = run(truthful_population(), options);
+  const RunReport corrupt =
+      run(with_behavior(2, Behavior::data_corruptor()), options);
+  EXPECT_FALSE(corrupt.solution_found);
+  ASSERT_FALSE(corrupt.incidents.empty());
+  EXPECT_EQ(corrupt.incidents[0].kind, Incident::Kind::kDataCorruption);
+  EXPECT_DOUBLE_EQ(corrupt.incidents[0].fine, 0.0);  // no fine, per Thm 5.2
+  // Everybody (including the corruptor) loses S relative to the honest
+  // round — which is exactly the deterrent.
+  for (std::size_t i = 1; i < corrupt.processors.size(); ++i) {
+    EXPECT_NEAR(corrupt.processors[i].utility,
+                honest.processors[i].utility - 0.05, 1e-9)
+        << "P" << i;
+  }
+}
+
+TEST(ProtocolRunner, MisreportedBidsLowerUtilityThroughTheProtocol) {
+  // Strategyproofness holds through the full protocol stack, not just
+  // the central assessment.
+  const RunReport honest = run(truthful_population());
+  for (const double factor : {0.6, 0.8, 1.3, 2.0}) {
+    const Behavior b = factor < 1.0 ? Behavior::underbid(factor)
+                                    : Behavior::overbid(factor);
+    for (std::size_t i = 1; i <= 3; ++i) {
+      const RunReport report = run(with_behavior(i, b));
+      EXPECT_FALSE(report.aborted);
+      EXPECT_LE(report.processors[i].utility,
+                honest.processors[i].utility + 1e-9)
+          << "P" << i << " factor " << factor;
+    }
+  }
+}
+
+TEST(ProtocolRunner, AutoSizedFineExceedsCheatingProfits) {
+  const RunReport report = run(with_behavior(1, Behavior::load_shedder(0.5)));
+  ASSERT_FALSE(report.incidents.empty());
+  // The fine must exceed anything the mechanism could ever pay out on a
+  // unit load for this instance.
+  EXPECT_GT(report.incidents[0].fine, report.assessment.total_payment);
+}
+
+TEST(ProtocolRunner, LedgerBalancesInEveryScenario) {
+  const std::vector<Behavior> behaviors = {
+      Behavior::truthful(),        Behavior::contradictor(),
+      Behavior::miscomputer(),     Behavior::load_shedder(0.3),
+      Behavior::overcharger(0.2),  Behavior::false_accuser(),
+      Behavior::data_corruptor(),  Behavior::slow_execution(1.4),
+      Behavior::underbid(0.7),     Behavior::overbid(1.5)};
+  for (const auto& b : behaviors) {
+    const RunReport report = run(with_behavior(2, b));
+    EXPECT_NEAR(report.ledger.conservation_residual(), 0.0, 1e-9)
+        << b.name;
+  }
+}
+
+TEST(ProtocolRunner, RejectsMismatchedPopulation) {
+  const LinearNetwork net({1.0, 1.0}, {0.2});
+  const Population pop = truthful_population();  // 3 agents, needs 1
+  EXPECT_THROW(run_protocol(net, pop, {}), dls::PreconditionError);
+}
+
+TEST(ProtocolRunner, TotalFinesMatchesProcessorReports) {
+  const RunReport report = run(with_behavior(1, Behavior::load_shedder(0.4)));
+  for (std::size_t i = 0; i < report.processors.size(); ++i) {
+    EXPECT_DOUBLE_EQ(report.total_fines(i), report.processors[i].fines)
+        << "P" << i;
+  }
+}
+
+TEST(ProtocolRunner, TwoIndependentDeviantsBothLose) {
+  // A slow executor and an overcharger in the same round: both end below
+  // their honest utilities, and the honest processor in between is
+  // unaffected.
+  ProtocolOptions options;
+  options.mechanism.audit_probability = 1.0;
+  const RunReport honest = run(truthful_population(), options);
+  Population pop = truthful_population();
+  pop.agent(1).behavior = Behavior::slow_execution(1.5);
+  pop.agent(3).behavior = Behavior::overcharger(0.3);
+  const RunReport report = run(pop, options);
+  EXPECT_FALSE(report.aborted);
+  EXPECT_LT(report.processors[1].utility, honest.processors[1].utility);
+  EXPECT_LT(report.processors[3].utility, honest.processors[3].utility);
+  EXPECT_NEAR(report.processors[2].utility, honest.processors[2].utility,
+              1e-9);
+}
+
+TEST(ProtocolRunner, CoarseTokensMissSmallThefts) {
+  // The Λ granularity bounds what Phase III can prove: a shed smaller
+  // than the published tolerance goes unpunished (and, by Lemma 5.2, the
+  // honest successor is not fined either). Documents the granularity /
+  // detection trade-off of footnote 1.
+  ProtocolOptions coarse;
+  coarse.blocks_per_unit = 4;  // tolerance 2/4 = 0.5 of the unit load
+  const RunReport undetected =
+      run(with_behavior(1, Behavior::load_shedder(0.2)), coarse);
+  EXPECT_TRUE(undetected.incidents.empty());
+  ProtocolOptions fine;
+  fine.blocks_per_unit = 1 << 16;
+  const RunReport detected =
+      run(with_behavior(1, Behavior::load_shedder(0.2)), fine);
+  ASSERT_FALSE(detected.incidents.empty());
+  EXPECT_EQ(detected.incidents[0].kind, Incident::Kind::kLoadShedding);
+}
+
+TEST(ProtocolRunner, FinesDisabledStillDetects) {
+  ProtocolOptions options;
+  options.fines_enabled = false;
+  const RunReport report =
+      run(with_behavior(1, Behavior::load_shedder(0.5)), options);
+  ASSERT_FALSE(report.incidents.empty());
+  EXPECT_EQ(report.incidents[0].kind, Incident::Kind::kLoadShedding);
+  EXPECT_DOUBLE_EQ(report.incidents[0].fine, 0.0);
+  EXPECT_DOUBLE_EQ(report.processors[1].fines, 0.0);
+  // Without fines the shedder keeps its (ill-gotten) surplus.
+  const RunReport honest = run(truthful_population(), options);
+  EXPECT_GT(report.processors[1].utility, honest.processors[1].utility);
+  EXPECT_NEAR(report.ledger.conservation_residual(), 0.0, 1e-9);
+}
+
+TEST(ProtocolRunner, CollusionSuppressesTheGrievance) {
+  Population pop = truthful_population();
+  pop.agent(2).behavior = Behavior::load_shedder(0.5);
+  pop.agent(3).behavior = Behavior::colluding_victim();
+  const RunReport report = run(pop);
+  // The terminal colluder swallows the overload silently.
+  EXPECT_TRUE(report.incidents.empty());
+  EXPECT_DOUBLE_EQ(report.processors[2].fines, 0.0);
+}
+
+TEST(ProtocolRunner, DeterministicGivenSeed) {
+  ProtocolOptions options;
+  options.seed = 1234;
+  const RunReport a = run(truthful_population(), options);
+  const RunReport b = run(truthful_population(), options);
+  for (std::size_t i = 0; i < a.processors.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.processors[i].utility, b.processors[i].utility);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+}  // namespace

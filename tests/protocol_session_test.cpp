@@ -1,0 +1,103 @@
+// Tests for multi-round sessions with the reputation/exclusion policy.
+#include <gtest/gtest.h>
+
+#include "agents/agent.hpp"
+#include "common/error.hpp"
+#include "net/networks.hpp"
+#include "protocol/session.hpp"
+
+namespace {
+
+using dls::agents::Behavior;
+using dls::agents::Population;
+using dls::agents::StrategicAgent;
+using dls::net::LinearNetwork;
+using dls::protocol::run_session;
+using dls::protocol::SessionOptions;
+using dls::protocol::SessionReport;
+
+LinearNetwork test_network() {
+  return LinearNetwork({1.0, 1.2, 0.8, 1.5}, {0.2, 0.15, 0.25});
+}
+
+Population population_with(std::size_t index, const Behavior& behavior) {
+  std::vector<StrategicAgent> agents = {
+      StrategicAgent{1, 1.2, Behavior::truthful()},
+      StrategicAgent{2, 0.8, Behavior::truthful()},
+      StrategicAgent{3, 1.5, Behavior::truthful()}};
+  if (index >= 1) agents[index - 1].behavior = behavior;
+  return Population(std::move(agents));
+}
+
+TEST(Session, HonestSessionAccumulatesSteadyProfit) {
+  SessionOptions options;
+  options.rounds = 5;
+  const SessionReport session =
+      run_session(test_network(), population_with(0, {}), options);
+  ASSERT_EQ(session.rounds.size(), 5u);
+  for (std::size_t i = 1; i <= 3; ++i) {
+    EXPECT_FALSE(session.is_excluded(i));
+    EXPECT_EQ(session.strikes[i], 0u);
+    // Wealth is 5x one round's utility (rounds are identical).
+    EXPECT_NEAR(session.wealth[i],
+                5.0 * session.rounds[0].processors[i].utility, 1e-9);
+  }
+}
+
+TEST(Session, RepeatOffenderGetsExcluded) {
+  SessionOptions options;
+  options.rounds = 6;
+  options.strikes_to_exclude = 2;
+  const SessionReport session = run_session(
+      test_network(), population_with(1, Behavior::load_shedder(0.5)),
+      options);
+  EXPECT_TRUE(session.is_excluded(1));
+  EXPECT_EQ(session.excluded_at[1], 2u);  // second strike, second round
+  EXPECT_GE(session.strikes[1], 2u);
+  // After exclusion its per-round utility is ~0 (no assignment, no
+  // fines): wealth stops falling.
+  const double after_exclusion =
+      session.rounds.back().processors[1].utility;
+  EXPECT_NEAR(after_exclusion, 0.0, 1e-6);
+  // And no further incidents occur in the excluded rounds.
+  EXPECT_TRUE(session.rounds.back().incidents.empty());
+}
+
+TEST(Session, ExclusionReassignsItsLoadToOthers) {
+  SessionOptions options;
+  options.rounds = 4;
+  options.strikes_to_exclude = 1;
+  const SessionReport session = run_session(
+      test_network(), population_with(2, Behavior::load_shedder(0.5)),
+      options);
+  ASSERT_TRUE(session.is_excluded(2));
+  const auto& first = session.rounds.front();
+  const auto& last = session.rounds.back();
+  EXPECT_LT(last.processors[2].assigned, 1e-3);
+  EXPECT_GT(last.processors[1].assigned, first.processors[1].assigned);
+  // The whole load still gets computed.
+  double total = 0.0;
+  for (const auto& p : last.processors) total += p.computed;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Session, ZeroStrikesDisablesThePolicy) {
+  SessionOptions options;
+  options.rounds = 4;
+  options.strikes_to_exclude = 0;
+  const SessionReport session = run_session(
+      test_network(), population_with(1, Behavior::load_shedder(0.5)),
+      options);
+  EXPECT_FALSE(session.is_excluded(1));
+  EXPECT_GE(session.strikes[1], 4u);  // fined every round instead
+  EXPECT_LT(session.wealth[1], -100.0);
+}
+
+TEST(Session, ValidatesInputs) {
+  SessionOptions options;
+  options.rounds = 0;
+  EXPECT_THROW(run_session(test_network(), population_with(0, {}), options),
+               dls::PreconditionError);
+}
+
+}  // namespace

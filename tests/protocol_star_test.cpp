@@ -1,0 +1,163 @@
+// Tests for the star-network protocol runner.
+#include <gtest/gtest.h>
+
+#include "agents/agent.hpp"
+#include "common/error.hpp"
+#include "net/networks.hpp"
+#include "protocol/star_runner.hpp"
+
+namespace {
+
+using dls::agents::Behavior;
+using dls::agents::Population;
+using dls::agents::StrategicAgent;
+using dls::net::StarNetwork;
+using dls::protocol::Incident;
+using dls::protocol::ProtocolOptions;
+using dls::protocol::run_star_protocol;
+using dls::protocol::StarRunReport;
+
+StarNetwork test_star() {
+  return StarNetwork(1.0, {1.2, 0.8, 1.5}, {0.2, 0.1, 0.3});
+}
+
+Population with_behavior(std::size_t index, Behavior behavior) {
+  std::vector<StrategicAgent> agents = {
+      StrategicAgent{1, 1.2, Behavior::truthful()},
+      StrategicAgent{2, 0.8, Behavior::truthful()},
+      StrategicAgent{3, 1.5, Behavior::truthful()}};
+  if (index >= 1) agents[index - 1].behavior = std::move(behavior);
+  return Population(std::move(agents));
+}
+
+StarRunReport run(const Population& pop, ProtocolOptions options = {}) {
+  return run_star_protocol(test_star(), pop, options);
+}
+
+TEST(StarProtocol, HonestRoundMatchesCentralAssessment) {
+  const StarRunReport report = run(with_behavior(0, {}));
+  EXPECT_FALSE(report.aborted);
+  EXPECT_TRUE(report.incidents.empty());
+  ASSERT_TRUE(report.execution.has_value());
+  for (std::size_t i = 1; i <= 3; ++i) {
+    EXPECT_GE(report.workers[i].utility, 0.0) << "worker " << i;
+    EXPECT_NEAR(report.workers[i].utility,
+                report.assessment.workers[i - 1].utility, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(report.workers[0].utility, 0.0);
+  EXPECT_NEAR(report.ledger.conservation_residual(), 0.0, 1e-9);
+  EXPECT_NEAR(report.makespan, report.assessment.solution.makespan, 1e-9);
+}
+
+TEST(StarProtocol, ContradictoryBidsAbortWithAFine) {
+  const StarRunReport report = run(with_behavior(2, Behavior::contradictor()));
+  EXPECT_TRUE(report.aborted);
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_EQ(report.incidents[0].kind,
+            Incident::Kind::kContradictoryMessages);
+  EXPECT_EQ(report.incidents[0].accused, 2u);
+  EXPECT_TRUE(report.incidents[0].substantiated);
+  EXPECT_LT(report.workers[2].utility, 0.0);
+}
+
+TEST(StarProtocol, SlowExecutionLowersUtility) {
+  const StarRunReport honest = run(with_behavior(0, {}));
+  const StarRunReport slow =
+      run(with_behavior(1, Behavior::slow_execution(1.6)));
+  EXPECT_FALSE(slow.aborted);
+  EXPECT_LT(slow.workers[1].utility, honest.workers[1].utility);
+  // The realised makespan suffers too (the point of verification).
+  EXPECT_GT(slow.makespan, honest.makespan);
+}
+
+TEST(StarProtocol, MisreportedBidsNeverBeatTruth) {
+  const StarRunReport honest = run(with_behavior(0, {}));
+  for (const double f : {0.5, 0.8, 1.3, 2.0}) {
+    const Behavior b =
+        f < 1.0 ? Behavior::underbid(f) : Behavior::overbid(f);
+    for (std::size_t i = 1; i <= 3; ++i) {
+      const StarRunReport report = run(with_behavior(i, b));
+      EXPECT_LE(report.workers[i].utility,
+                honest.workers[i].utility + 1e-9)
+          << "worker " << i << " factor " << f;
+    }
+  }
+}
+
+TEST(StarProtocol, OvercaughtOverchargeIsRuinous) {
+  ProtocolOptions options;
+  options.mechanism.audit_probability = 1.0;
+  const StarRunReport honest = run(with_behavior(0, {}), options);
+  const StarRunReport cheat =
+      run(with_behavior(3, Behavior::overcharger(0.4)), options);
+  ASSERT_EQ(cheat.incidents.size(), 1u);
+  EXPECT_EQ(cheat.incidents[0].kind, Incident::Kind::kOvercharge);
+  EXPECT_NEAR(cheat.workers[3].payment, honest.workers[3].payment, 1e-9);
+  EXPECT_LT(cheat.workers[3].utility, 0.0);
+}
+
+TEST(StarProtocol, FalseAccusationBackfires) {
+  const StarRunReport report =
+      run(with_behavior(2, Behavior::false_accuser()));
+  EXPECT_FALSE(report.aborted);
+  ASSERT_FALSE(report.incidents.empty());
+  EXPECT_EQ(report.incidents[0].kind, Incident::Kind::kFalseAccusation);
+  EXPECT_FALSE(report.incidents[0].substantiated);
+  EXPECT_GT(report.workers[2].fines, 0.0);
+}
+
+TEST(StarProtocol, SolutionBonusLostOnCorruption) {
+  ProtocolOptions options;
+  options.mechanism.solution_bonus_enabled = true;
+  options.mechanism.solution_bonus = 0.05;
+  const StarRunReport honest = run(with_behavior(0, {}), options);
+  const StarRunReport corrupt =
+      run(with_behavior(2, Behavior::data_corruptor()), options);
+  EXPECT_FALSE(corrupt.solution_found);
+  for (std::size_t i = 1; i <= 3; ++i) {
+    EXPECT_NEAR(corrupt.workers[i].utility,
+                honest.workers[i].utility - 0.05, 1e-9);
+  }
+}
+
+TEST(StarProtocol, LedgerBalancesInEveryScenario) {
+  const std::vector<Behavior> behaviors = {
+      Behavior::truthful(),         Behavior::contradictor(),
+      Behavior::overcharger(0.2),   Behavior::false_accuser(),
+      Behavior::data_corruptor(),   Behavior::slow_execution(1.4),
+      Behavior::underbid(0.7),      Behavior::overbid(1.5)};
+  ProtocolOptions options;
+  options.mechanism.audit_probability = 1.0;
+  for (const auto& b : behaviors) {
+    const StarRunReport report = run(with_behavior(2, b), options);
+    EXPECT_NEAR(report.ledger.conservation_residual(), 0.0, 1e-9) << b.name;
+  }
+}
+
+TEST(StarProtocol, DeterministicGivenSeed) {
+  ProtocolOptions options;
+  options.seed = 777;
+  const StarRunReport a = run(with_behavior(0, {}), options);
+  const StarRunReport b = run(with_behavior(0, {}), options);
+  for (std::size_t i = 0; i < a.workers.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.workers[i].utility, b.workers[i].utility);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(StarProtocol, RejectsChainOnlyBehaviors) {
+  EXPECT_THROW(run(with_behavior(1, Behavior::load_shedder(0.3))),
+               dls::PreconditionError);
+  EXPECT_THROW(run(with_behavior(1, Behavior::miscomputer())),
+               dls::PreconditionError);
+  EXPECT_THROW(run(with_behavior(1, Behavior::colluding_victim())),
+               dls::PreconditionError);
+}
+
+TEST(StarProtocol, RejectsMismatchedPopulation) {
+  const StarNetwork star(1.0, {1.0}, {0.1});
+  EXPECT_THROW(run_star_protocol(star, with_behavior(0, {}), {}),
+               dls::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+// Tests for the tree protocol runner and the deviant-capable tree
+// executor.
+#include <gtest/gtest.h>
+
+#include "agents/agent.hpp"
+#include "common/error.hpp"
+#include "core/dls_tree.hpp"
+#include "dlt/tree.hpp"
+#include "net/tree.hpp"
+#include "protocol/tree_runner.hpp"
+#include "sim/tree_execution.hpp"
+
+namespace {
+
+using dls::agents::Behavior;
+using dls::agents::Population;
+using dls::agents::StrategicAgent;
+using dls::net::TreeNetwork;
+using dls::protocol::Incident;
+using dls::protocol::ProtocolOptions;
+using dls::protocol::run_tree_protocol;
+using dls::protocol::TreeRunReport;
+
+// Shape: 0 -> {1, 2}; 1 -> {3, 4}
+TreeNetwork test_tree() {
+  return TreeNetwork({1.0, 1.2, 0.8, 1.5, 0.9},
+                     {1.0, 0.2, 0.15, 0.25, 0.1}, {0, 0, 0, 1, 1});
+}
+
+Population with_behavior(std::size_t index, Behavior behavior) {
+  std::vector<StrategicAgent> agents = {
+      StrategicAgent{1, 1.2, Behavior::truthful()},
+      StrategicAgent{2, 0.8, Behavior::truthful()},
+      StrategicAgent{3, 1.5, Behavior::truthful()},
+      StrategicAgent{4, 0.9, Behavior::truthful()}};
+  if (index >= 1) agents[index - 1].behavior = std::move(behavior);
+  return Population(std::move(agents));
+}
+
+TreeRunReport run(const Population& pop, ProtocolOptions options = {}) {
+  return run_tree_protocol(test_tree(), pop, options);
+}
+
+TEST(ExecuteTree, CompliantRunMatchesSolver) {
+  const TreeNetwork tree = test_tree();
+  const auto sol = dls::dlt::solve_tree(tree);
+  const auto result = dls::sim::execute_tree(
+      tree, sol, dls::sim::TreeExecutionPlan::compliant(tree));
+  const auto closed = dls::dlt::tree_finish_times(tree, sol);
+  for (std::size_t v = 0; v < tree.size(); ++v) {
+    EXPECT_NEAR(result.finish_time[v], closed[v], 1e-9) << "node " << v;
+    EXPECT_NEAR(result.computed[v], sol.alpha[v], 1e-12);
+    EXPECT_NEAR(result.received[v], sol.received[v], 1e-12);
+  }
+  EXPECT_NEAR(result.makespan, sol.makespan, 1e-9);
+  EXPECT_TRUE(result.trace.check_one_port().empty());
+}
+
+TEST(ExecuteTree, SheddingOverloadsTheChildren) {
+  const TreeNetwork tree = test_tree();
+  const auto sol = dls::dlt::solve_tree(tree);
+  auto plan = dls::sim::TreeExecutionPlan::compliant(tree);
+  plan.keep_multiplier[1] = 0.5;  // node 1 sheds half its keep
+  const auto result = dls::sim::execute_tree(tree, sol, plan);
+  EXPECT_LT(result.computed[1], sol.alpha[1]);
+  EXPECT_GT(result.received[3], sol.received[3] + 1e-12);
+  EXPECT_GT(result.received[4], sol.received[4] + 1e-12);
+  double total = 0.0;
+  for (const double c : result.computed) total += c;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(TreeProtocol, HonestRoundMatchesCentralAssessment) {
+  const TreeRunReport report = run(with_behavior(0, {}));
+  EXPECT_FALSE(report.aborted);
+  EXPECT_TRUE(report.incidents.empty());
+  const TreeNetwork tree = test_tree();
+  std::vector<double> rates(tree.size());
+  for (std::size_t v = 0; v < tree.size(); ++v) rates[v] = tree.w(v);
+  const auto central = dls::core::assess_dls_tree(
+      tree, rates, dls::core::MechanismConfig{});
+  for (std::size_t v = 1; v < tree.size(); ++v) {
+    EXPECT_NEAR(report.nodes[v].utility, central.nodes[v].utility, 1e-9)
+        << "node " << v;
+    EXPECT_GE(report.nodes[v].utility, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(report.nodes[0].utility, 0.0);
+  EXPECT_NEAR(report.ledger.conservation_residual(), 0.0, 1e-9);
+}
+
+TEST(TreeProtocol, ContradictorCaughtByItsParent) {
+  const TreeRunReport report = run(with_behavior(3, Behavior::contradictor()));
+  EXPECT_TRUE(report.aborted);
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_EQ(report.incidents[0].kind,
+            Incident::Kind::kContradictoryMessages);
+  EXPECT_EQ(report.incidents[0].accused, 3u);
+  EXPECT_EQ(report.incidents[0].reporter, 1u);  // node 3's parent
+  EXPECT_LT(report.nodes[3].utility, 0.0);
+  EXPECT_GT(report.nodes[1].utility, 0.0);  // the reporting parent
+}
+
+TEST(TreeProtocol, MiscomputingParentReportedByChild) {
+  const TreeRunReport report = run(with_behavior(1, Behavior::miscomputer()));
+  EXPECT_TRUE(report.aborted);
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_EQ(report.incidents[0].kind, Incident::Kind::kMiscomputation);
+  EXPECT_EQ(report.incidents[0].accused, 1u);
+  EXPECT_LT(report.nodes[1].utility, 0.0);
+}
+
+TEST(TreeProtocol, SheddingParentFinedChildrenMadeWhole) {
+  const TreeRunReport honest = run(with_behavior(0, {}));
+  const TreeRunReport report =
+      run(with_behavior(1, Behavior::load_shedder(0.5)));
+  EXPECT_FALSE(report.aborted);
+  ASSERT_FALSE(report.incidents.empty());
+  EXPECT_EQ(report.incidents[0].kind, Incident::Kind::kLoadShedding);
+  EXPECT_EQ(report.incidents[0].accused, 1u);
+  EXPECT_LT(report.nodes[1].utility, honest.nodes[1].utility);
+  EXPECT_LT(report.nodes[1].utility, 0.0);
+  // The overloaded children are recompensed (>= honest, one gets +F).
+  EXPECT_GE(report.nodes[3].utility, honest.nodes[3].utility - 1e-9);
+  EXPECT_GE(report.nodes[4].utility, honest.nodes[4].utility - 1e-9);
+}
+
+TEST(TreeProtocol, SlowExecutionLowersUtilityWithoutFines) {
+  const TreeRunReport honest = run(with_behavior(0, {}));
+  const TreeRunReport report =
+      run(with_behavior(2, Behavior::slow_execution(1.5)));
+  EXPECT_FALSE(report.aborted);
+  EXPECT_TRUE(report.incidents.empty());
+  EXPECT_LT(report.nodes[2].utility, honest.nodes[2].utility);
+  EXPECT_DOUBLE_EQ(report.nodes[2].fines, 0.0);
+}
+
+TEST(TreeProtocol, OverchargeAuditRuinous) {
+  ProtocolOptions options;
+  options.mechanism.audit_probability = 1.0;
+  const TreeRunReport honest = run(with_behavior(0, {}), options);
+  const TreeRunReport report =
+      run(with_behavior(4, Behavior::overcharger(0.3)), options);
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_EQ(report.incidents[0].kind, Incident::Kind::kOvercharge);
+  EXPECT_NEAR(report.nodes[4].payment, honest.nodes[4].payment, 1e-9);
+  EXPECT_LT(report.nodes[4].utility, 0.0);
+}
+
+TEST(TreeProtocol, MisreportedBidsNeverBeatTruthEndToEnd) {
+  const TreeRunReport honest = run(with_behavior(0, {}));
+  for (const double f : {0.5, 0.8, 1.4, 2.2}) {
+    const Behavior b =
+        f < 1.0 ? Behavior::underbid(f) : Behavior::overbid(f);
+    for (std::size_t v = 1; v <= 4; ++v) {
+      const TreeRunReport report = run(with_behavior(v, b));
+      EXPECT_LE(report.nodes[v].utility, honest.nodes[v].utility + 1e-9)
+          << "node " << v << " factor " << f;
+    }
+  }
+}
+
+TEST(TreeProtocol, LedgerBalancesInEveryScenario) {
+  const std::vector<Behavior> behaviors = {
+      Behavior::truthful(),          Behavior::contradictor(),
+      Behavior::miscomputer(),       Behavior::load_shedder(0.4),
+      Behavior::overcharger(0.2),    Behavior::false_accuser(),
+      Behavior::data_corruptor(),    Behavior::slow_execution(1.3)};
+  ProtocolOptions options;
+  options.mechanism.audit_probability = 1.0;
+  for (const auto& b : behaviors) {
+    const TreeRunReport report = run(with_behavior(1, b), options);
+    EXPECT_NEAR(report.ledger.conservation_residual(), 0.0, 1e-9) << b.name;
+  }
+}
+
+TEST(TreeProtocol, ChainShapedTreeMatchesChainProtocol) {
+  // A unary tree and the chain protocol must agree on honest utilities.
+  const dls::net::LinearNetwork chain({1.0, 1.2, 0.8}, {0.2, 0.15});
+  const TreeNetwork tree = TreeNetwork::chain({1.0, 1.2, 0.8}, {0.2, 0.15});
+  const Population pop({StrategicAgent{1, 1.2, Behavior::truthful()},
+                        StrategicAgent{2, 0.8, Behavior::truthful()}});
+  const auto chain_report = dls::protocol::run_protocol(chain, pop, {});
+  const auto tree_report = run_tree_protocol(tree, pop, {});
+  for (std::size_t v = 1; v < 3; ++v) {
+    EXPECT_NEAR(tree_report.nodes[v].utility,
+                chain_report.processors[v].utility, 1e-9)
+        << "node " << v;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Round-trip and robustness tests for the protocol wire format, plus a
+// small decoder fuzz sweep (random and mutated buffers must never crash
+// — only throw DecodeError or produce a claim that fails verification).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/pki.hpp"
+#include "protocol/wire.hpp"
+
+namespace {
+
+using dls::codec::Bytes;
+using dls::codec::DecodeError;
+using dls::common::Rng;
+using dls::crypto::Claim;
+using dls::crypto::ClaimKind;
+using dls::crypto::KeyRegistry;
+using dls::crypto::make_signed;
+using dls::crypto::SignedClaim;
+using namespace dls::protocol;
+
+struct Fixture {
+  Rng rng{123};
+  KeyRegistry registry;
+  dls::crypto::Signer signer = registry.enroll(3, rng);
+
+  SignedClaim claim(double value) {
+    return make_signed(signer,
+                       Claim{ClaimKind::kEquivalentBid, 3, 9, value});
+  }
+};
+
+TEST(Wire, SignedClaimRoundtripPreservesSignature) {
+  Fixture f;
+  const SignedClaim original = f.claim(1.25);
+  const Bytes wire = encode_signed_claim(original);
+  const SignedClaim back = decode_signed_claim(wire);
+  EXPECT_EQ(back, original);
+  EXPECT_TRUE(dls::crypto::verify(f.registry, back));
+}
+
+TEST(Wire, BidMessageRoundtrip) {
+  Fixture f;
+  const BidMessage original{f.claim(2.5)};
+  const BidMessage back = decode_bid_message(encode_bid_message(original));
+  EXPECT_EQ(back.equivalent_bid, original.equivalent_bid);
+}
+
+TEST(Wire, AllocationMessageRoundtrip) {
+  Fixture f;
+  AllocationMessage original;
+  original.received_pred = f.claim(1.0);
+  original.received_self = f.claim(0.5);
+  original.equiv_bid_pred = f.claim(0.7);
+  original.rate_bid_pred = f.claim(1.1);
+  original.equiv_bid_self = f.claim(0.9);
+  const AllocationMessage back =
+      decode_allocation_message(encode_allocation_message(original));
+  EXPECT_EQ(back.received_pred, original.received_pred);
+  EXPECT_EQ(back.received_self, original.received_self);
+  EXPECT_EQ(back.equiv_bid_pred, original.equiv_bid_pred);
+  EXPECT_EQ(back.rate_bid_pred, original.rate_bid_pred);
+  EXPECT_EQ(back.equiv_bid_self, original.equiv_bid_self);
+}
+
+TEST(Wire, WrongMagicRejected) {
+  Fixture f;
+  const Bytes as_claim = encode_signed_claim(f.claim(1.0));
+  EXPECT_THROW(decode_bid_message(as_claim), DecodeError);
+  const Bytes as_bid = encode_bid_message(BidMessage{f.claim(1.0)});
+  EXPECT_THROW(decode_signed_claim(as_bid), DecodeError);
+}
+
+TEST(Wire, TruncationRejectedAtEveryLength) {
+  Fixture f;
+  const Bytes wire = encode_signed_claim(f.claim(1.0));
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const Bytes prefix(wire.begin(),
+                       wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(decode_signed_claim(prefix), DecodeError) << cut;
+  }
+}
+
+TEST(Wire, TrailingBytesRejected) {
+  Fixture f;
+  Bytes wire = encode_signed_claim(f.claim(1.0));
+  wire.push_back(0x00);
+  EXPECT_THROW(decode_signed_claim(wire), DecodeError);
+}
+
+TEST(Wire, BitFlipsNeverVerify) {
+  Fixture f;
+  const SignedClaim original = f.claim(1.0);
+  const Bytes wire = encode_signed_claim(original);
+  int decoded_ok = 0;
+  for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes mutated = wire;
+      mutated[byte] = static_cast<std::uint8_t>(mutated[byte] ^ (1u << bit));
+      try {
+        const SignedClaim back = decode_signed_claim(mutated);
+        ++decoded_ok;
+        // A decodable mutation must either fail signature verification
+        // or decode back to the exact original (flips inside varint
+        // padding cannot occur with this codec, so any accepted claim
+        // that verifies must BE the original).
+        if (dls::crypto::verify(f.registry, back)) {
+          EXPECT_EQ(back, original);
+        }
+      } catch (const DecodeError&) {
+        // fine — strict decoder
+      }
+    }
+  }
+  // Sanity: the sweep exercised real decodes, not only rejections.
+  EXPECT_GT(decoded_ok, 0);
+}
+
+TEST(Wire, RandomBuffersNeverCrash) {
+  Rng rng(9090);
+  int threw = 0;
+  for (int rep = 0; rep < 2000; ++rep) {
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 200));
+    Bytes junk(len);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.bits());
+    try {
+      (void)decode_allocation_message(junk);
+    } catch (const DecodeError&) {
+      ++threw;
+    }
+  }
+  EXPECT_GT(threw, 1900);  // essentially everything must be rejected
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Tests for the result-return simulation (assumption (iii) probe) and
+// the threaded sweep driver.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "analysis/parallel.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dlt/linear.hpp"
+#include "net/networks.hpp"
+#include "sim/linear_returns.hpp"
+
+namespace {
+
+using dls::analysis::parallel_for;
+using dls::common::Rng;
+using dls::dlt::solve_linear_boundary;
+using dls::net::LinearNetwork;
+using dls::sim::execute_linear_with_returns;
+using dls::sim::ExecutionPlan;
+
+TEST(LinearReturns, ZeroDeltaChangesNothing) {
+  const LinearNetwork net({1.0, 1.0, 1.0}, {0.2, 0.2});
+  const auto sol = solve_linear_boundary(net);
+  const auto result = execute_linear_with_returns(
+      net, ExecutionPlan::compliant(net, sol), 0.0);
+  EXPECT_DOUBLE_EQ(result.collection_time, result.forward.makespan);
+  EXPECT_DOUBLE_EQ(result.return_overhead(), 0.0);
+  EXPECT_DOUBLE_EQ(result.collected, 0.0);
+}
+
+TEST(LinearReturns, CollectsEveryResult) {
+  Rng rng(81);
+  for (int rep = 0; rep < 15; ++rep) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    const LinearNetwork net =
+        LinearNetwork::random(m + 1, rng, 0.5, 5.0, 0.05, 0.5);
+    const auto sol = solve_linear_boundary(net);
+    const double delta = rng.uniform(0.01, 0.5);
+    const auto result = execute_linear_with_returns(
+        net, ExecutionPlan::compliant(net, sol), delta);
+    double expected = 0.0;
+    for (std::size_t i = 1; i < net.size(); ++i) {
+      expected += delta * sol.alpha[i];
+    }
+    EXPECT_NEAR(result.collected, expected, 1e-9);
+    EXPECT_GE(result.return_overhead(), 0.0);
+    // One-port discipline holds across forward + return traffic.
+    EXPECT_TRUE(result.forward.trace.check_one_port().empty());
+  }
+}
+
+TEST(LinearReturns, OverheadMonotoneInDelta) {
+  const LinearNetwork net = LinearNetwork::uniform(6, 1.0, 0.3);
+  const auto sol = solve_linear_boundary(net);
+  const auto plan = ExecutionPlan::compliant(net, sol);
+  double prev = 0.0;
+  for (const double delta : {0.0, 0.1, 0.2, 0.4, 0.8}) {
+    const auto result = execute_linear_with_returns(net, plan, delta);
+    EXPECT_GE(result.return_overhead(), prev - 1e-12) << delta;
+    prev = result.return_overhead();
+  }
+}
+
+TEST(LinearReturns, TwoProcessorClosedForm) {
+  // Chain of two: the worker's result (δ α_1) crosses l_1 right after
+  // both finish at T, so collection = T + δ α_1 z_1.
+  const LinearNetwork net({1.0, 2.0}, {0.5});
+  const auto sol = solve_linear_boundary(net);
+  const double delta = 0.25;
+  const auto result = execute_linear_with_returns(
+      net, ExecutionPlan::compliant(net, sol), delta);
+  EXPECT_NEAR(result.collection_time,
+              sol.makespan + delta * sol.alpha[1] * 0.5, 1e-12);
+}
+
+TEST(LinearReturns, RejectsNegativeDelta) {
+  const LinearNetwork net({1.0, 1.0}, {0.2});
+  const auto sol = solve_linear_boundary(net);
+  EXPECT_THROW(execute_linear_with_returns(
+                   net, ExecutionPlan::compliant(net, sol), -0.1),
+               dls::PreconditionError);
+}
+
+// ---------------------------------------------------------------------
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(kCount, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, DeterministicResultsAtAnyWorkerCount) {
+  constexpr std::size_t kCount = 64;
+  auto run = [&](std::size_t workers) {
+    std::vector<double> out(kCount);
+    parallel_for(
+        kCount,
+        [&](std::size_t i) {
+          Rng rng(1000 + i);  // per-index stream
+          out[i] = rng.uniform01();
+        },
+        workers);
+    return out;
+  };
+  const auto serial = run(1);
+  const auto parallel = run(8);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(parallel_for(100,
+                            [](std::size_t i) {
+                              if (i == 37) {
+                                throw dls::Error("boom");
+                              }
+                            }),
+               dls::Error);
+}
+
+TEST(ParallelFor, HandlesEmptyAndTinyRanges) {
+  int calls = 0;
+  parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> atomic_calls{0};
+  parallel_for(1, [&](std::size_t) { ++atomic_calls; }, 16);
+  EXPECT_EQ(atomic_calls.load(), 1);
+}
+
+}  // namespace

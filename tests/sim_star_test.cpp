@@ -1,0 +1,117 @@
+// Tests for the star/bus event-driven executor and multi-installment
+// schedules.
+#include <gtest/gtest.h>
+
+#include "analysis/multiround.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dlt/star.hpp"
+#include "net/networks.hpp"
+#include "sim/star_execution.hpp"
+
+namespace {
+
+using dls::analysis::MultiRoundSolution;
+using dls::analysis::solve_multiround_star;
+using dls::common::Rng;
+using dls::dlt::solve_star;
+using dls::dlt::star_finish_times;
+using dls::net::StarNetwork;
+using dls::sim::execute_star;
+using dls::sim::Installment;
+using dls::sim::single_installment;
+using dls::sim::StarSchedule;
+
+TEST(ExecuteStar, SingleInstallmentMatchesClosedForm) {
+  Rng rng(71);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    const StarNetwork star =
+        StarNetwork::random(m, rng, 0.5, 5.0, 0.05, 0.5, rep % 2 == 0);
+    const auto sol = solve_star(star);
+    const StarSchedule schedule =
+        single_installment(star, sol.alpha_root, sol.alpha, sol.order);
+    const auto result = execute_star(star, schedule);
+    EXPECT_NEAR(result.makespan, sol.makespan, 1e-9);
+    const auto closed = star_finish_times(star, sol);
+    for (std::size_t i = 0; i < m; ++i) {
+      EXPECT_NEAR(result.finish_time[i], closed[i + 1], 1e-9) << i;
+      EXPECT_NEAR(result.computed[i], sol.alpha[i], 1e-12);
+    }
+    EXPECT_TRUE(result.trace.check_one_port().empty());
+  }
+}
+
+TEST(ExecuteStar, ChunksQueueBehindEarlierWork) {
+  // Two chunks to the same worker: the second computes after the first.
+  const StarNetwork star(0.0, {1.0}, {0.1});
+  StarSchedule schedule;
+  schedule.sends = {Installment{0, 0.5}, Installment{0, 0.5}};
+  const auto result = execute_star(star, schedule);
+  // First chunk: arrives 0.05, computes until 0.55. Second: arrives
+  // 0.10, queued until 0.55, finishes 1.05.
+  EXPECT_NEAR(result.finish_time[0], 1.05, 1e-12);
+  EXPECT_NEAR(result.computed[0], 1.0, 1e-12);
+}
+
+TEST(ExecuteStar, ValidatesSchedule) {
+  const StarNetwork star(0.0, {1.0}, {0.1});
+  StarSchedule bad;
+  bad.sends = {Installment{0, 0.5}};  // covers only half the load
+  EXPECT_THROW(execute_star(star, bad), dls::PreconditionError);
+  StarSchedule oob;
+  oob.sends = {Installment{3, 1.0}};
+  EXPECT_THROW(execute_star(star, oob), dls::PreconditionError);
+  StarSchedule root_share;
+  root_share.root_share = 0.5;
+  root_share.sends = {Installment{0, 0.5}};
+  EXPECT_THROW(execute_star(star, root_share), dls::PreconditionError)
+      << "non-computing root cannot keep a share";
+}
+
+TEST(MultiRound, OneRoundReproducesSolveStar) {
+  Rng rng(73);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 8));
+    const StarNetwork star =
+        StarNetwork::random(m, rng, 0.5, 5.0, 0.05, 0.5, true);
+    const MultiRoundSolution sol = solve_multiround_star(star, 1);
+    EXPECT_LE(sol.makespan, solve_star(star).makespan + 1e-9);
+  }
+}
+
+TEST(MultiRound, NeverWorseThanSingleRound) {
+  Rng rng(74);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(2, 8));
+    const StarNetwork star =
+        StarNetwork::random(m, rng, 0.5, 5.0, 0.2, 1.0, rep % 2 == 0);
+    const double single = solve_star(star).makespan;
+    for (const std::size_t rounds : {2u, 4u, 8u}) {
+      const MultiRoundSolution sol = solve_multiround_star(star, rounds);
+      EXPECT_LE(sol.makespan, single + 1e-9)
+          << "rounds " << rounds << " rep " << rep;
+    }
+  }
+}
+
+TEST(MultiRound, HelpsOnCommHeavyStars) {
+  // Slow links: late workers idle a long time under a single
+  // installment; multi-round must strictly improve.
+  const StarNetwork star(1.0, {1.0, 1.0, 1.0, 1.0},
+                         {0.8, 0.8, 0.8, 0.8});
+  const double single = solve_star(star).makespan;
+  const MultiRoundSolution multi = solve_multiround_star(star, 8);
+  EXPECT_LT(multi.makespan, single * 0.98);
+}
+
+TEST(MultiRound, SchedulesAreValidAndTraced) {
+  const StarNetwork star(1.0, {1.0, 2.0}, {0.3, 0.4});
+  const MultiRoundSolution sol = solve_multiround_star(star, 4);
+  EXPECT_NEAR(sol.schedule.total(), 1.0, 1e-9);
+  const auto result = execute_star(star, sol.schedule);
+  EXPECT_TRUE(result.trace.check_one_port().empty());
+  EXPECT_NEAR(result.makespan, sol.makespan, 1e-12);
+}
+
+}  // namespace
