@@ -1,0 +1,100 @@
+#include "analysis/faultsweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/experiments.hpp"
+#include "common/error.hpp"
+
+namespace dls::analysis {
+
+std::vector<FaultSweepRow> run_fault_sweep(const FaultSweepConfig& config) {
+  DLS_REQUIRE(config.processors >= 2, "sweep needs a root and a worker");
+  DLS_REQUIRE(config.trials >= 1, "sweep needs at least one trial");
+
+  common::Rng master(config.seed);
+  std::vector<FaultSweepRow> rows;
+  rows.reserve(config.crash_rates.size());
+
+  for (std::size_t r = 0; r < config.crash_rates.size(); ++r) {
+    const double rate = config.crash_rates[r];
+    DLS_REQUIRE(rate >= 0.0 && rate <= 1.0, "crash rate must lie in [0, 1]");
+
+    FaultSweepRow row;
+    row.crash_rate = rate;
+    row.runs = config.trials;
+
+    double crashes = 0.0;
+    double ratio_sum = 0.0;
+    double latency_sum = 0.0;
+    std::size_t latency_count = 0;
+    std::size_t recovered = 0;
+    double settlement_sum = 0.0;
+    std::size_t settlement_count = 0;
+
+    for (std::size_t t = 0; t < config.trials; ++t) {
+      common::Rng rng = master.spawn(r * 0x10001ull + t);
+
+      const auto network = net::LinearNetwork::random(
+          config.processors, rng, kWLo, kWHi, kZLo, kZHi);
+      std::vector<agents::StrategicAgent> roster;
+      roster.reserve(config.processors - 1);
+      for (std::size_t i = 1; i < config.processors; ++i) {
+        roster.push_back(agents::StrategicAgent{
+            i, network.w(i), agents::Behavior::truthful()});
+      }
+
+      protocol::ProtocolOptions options;
+      options.mechanism = config.mechanism;
+      options.round = t + 1;
+      options.seed = rng.bits() | 1ull;
+
+      protocol::FaultToleranceOptions ft;
+      ft.heartbeat = config.heartbeat;
+      ft.faults =
+          sim::FaultPlan::random_crashes(config.processors, rate, rng);
+
+      const protocol::FtRunReport report = protocol::run_protocol_ft(
+          network, agents::Population(std::move(roster)), options, ft);
+
+      // Makespan degradation relative to the fault-free prediction of the
+      // very same instance (Algorithm 1 on the truthful bids).
+      const double baseline = report.round.solution.makespan;
+      const double ratio =
+          baseline > 0.0 ? report.degraded_makespan / baseline : 1.0;
+      ratio_sum += ratio;
+      row.max_makespan_ratio = std::max(row.max_makespan_ratio, ratio);
+
+      crashes += static_cast<double>(report.crashes.size());
+      for (const protocol::CrashSettlement& settlement : report.crashes) {
+        latency_sum += settlement.detection.latency();
+        ++latency_count;
+        row.max_detection_latency = std::max(
+            row.max_detection_latency, settlement.detection.latency());
+        settlement_sum += settlement.settlement_paid;
+        ++settlement_count;
+      }
+
+      if (report.recovered) ++recovered;
+      row.max_conservation_residual =
+          std::max(row.max_conservation_residual,
+                   std::abs(report.round.ledger.conservation_residual()));
+    }
+
+    const double n = static_cast<double>(config.trials);
+    row.mean_crashes = crashes / n;
+    row.mean_makespan_ratio = ratio_sum / n;
+    row.mean_detection_latency =
+        latency_count == 0 ? 0.0
+                           : latency_sum / static_cast<double>(latency_count);
+    row.recovery_rate = static_cast<double>(recovered) / n;
+    row.mean_settlement =
+        settlement_count == 0
+            ? 0.0
+            : settlement_sum / static_cast<double>(settlement_count);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace dls::analysis

@@ -1,0 +1,136 @@
+// Fault-tolerant execution of the DLS-LBL round: crash detection by
+// heartbeat/probe timeouts, survivor re-solve, and E_j settlement.
+//
+// The paper polices *strategic* deviation; this layer extends the same
+// machinery to *fail-stop* faults. The key observation is that a crash
+// looks like load shedding from the accounting's point of view
+// (α̃_j < α_j), so the dumped-load recompense E_j (eq. 4.8) and the
+// incident pipeline generalise cleanly:
+//
+//   crash-vs-shedding disambiguation rule
+//   -------------------------------------
+//   An under-computing processor is judged a SHEDDER (fined, Thm 5.1)
+//   when it is still answering probes AND its successor holds Λ tokens
+//   in excess of the published D — the signed evidence that load was
+//   dumped downstream. It is judged CRASHED (no fine; E_j-style
+//   recompense for verifiably completed work) when its heartbeats
+//   stopped, probe retries exhausted the budget, and no successor holds
+//   excess tokens. A node that both dumped load and then died is a
+//   shedder — the token evidence outlives the crash.
+//
+// Detection: every worker streams heartbeats (period H) which double as
+// signed progress claims; the root arms a deadline timer per worker and,
+// on a miss, probes with bounded exponential backoff until either a
+// reply arrives (timer re-armed, a lossy link caused a false miss) or
+// the retry budget is exhausted (crash confirmed). Detection latency is
+// the confirmed time minus the true crash instant.
+//
+// Recovery: the root re-runs Algorithm 1 (the equivalent-processor
+// reduction) over the longest still-reachable prefix of the chain and
+// redistributes the residual load — everything nobody verifiably
+// computed — across it, starting at the confirmation instant. Survivors
+// that absorb extra load end the round with α̃_j > α_j and are paid the
+// recompense E_j = (α̃_j − α_j)·w̃_j through the ordinary Phase IV
+// arithmetic; the crashed node is paid its verified partial work at its
+// metered rate and nothing else.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "agents/agent.hpp"
+#include "net/networks.hpp"
+#include "protocol/runner.hpp"
+#include "sim/faults.hpp"
+
+namespace dls::protocol {
+
+/// Heartbeat / probe timing knobs (all in simulation time units).
+struct HeartbeatConfig {
+  double period = 0.05;        ///< worker heartbeat interval
+  double timeout = 0.05;       ///< slack past the period before suspicion
+  std::size_t retry_budget = 3;  ///< probes before a crash is confirmed
+  double backoff_factor = 2.0;   ///< exponential probe backoff
+  double max_backoff = 0.5;      ///< cap on the inter-probe wait
+};
+
+/// What the root concluded about one worker's liveness.
+struct DetectionReport {
+  bool confirmed_dead = false;  ///< retry budget exhausted
+  bool false_alarm = false;     ///< declared dead but actually alive
+  sim::Time crash_time = 0.0;   ///< ground truth (0 when alive)
+  sim::Time confirmed_at = 0.0; ///< when the budget ran out
+  std::size_t probes_sent = 0;
+  std::size_t timeouts = 0;     ///< deadline expiries (incl. false misses)
+  double latency() const noexcept { return confirmed_at - crash_time; }
+};
+
+/// Deterministically simulates the heartbeat/probe exchange with one
+/// worker. `crash_time` is the ground-truth death instant (nullopt =
+/// alive); `loss_probability` applies independently to every beat,
+/// probe, and reply; monitoring stops at `horizon` for live workers.
+DetectionReport monitor_processor(const HeartbeatConfig& config,
+                                  std::optional<sim::Time> crash_time,
+                                  double loss_probability, sim::Time horizon,
+                                  common::Rng rng);
+
+/// The disambiguation verdict for an under-computing processor.
+enum class UnderComputeVerdict : std::uint8_t {
+  kCompliant,  ///< not under-computing (or merely slow — metered, not fined)
+  kCrash,      ///< fail-stop: recompense for verified work, no fine
+  kShedding,   ///< strategic: fined per Thm 5.1
+};
+
+std::string to_string(UnderComputeVerdict verdict);
+
+/// Applies the crash-vs-shedding rule documented above.
+UnderComputeVerdict classify_under_computation(double assigned,
+                                               double computed,
+                                               bool heartbeats_stopped,
+                                               bool successor_excess_tokens,
+                                               double tolerance);
+
+struct FaultToleranceOptions {
+  sim::FaultPlan faults;       ///< the chaos script for Phase III
+  HeartbeatConfig heartbeat;
+};
+
+/// Final settlement for one crashed processor.
+struct CrashSettlement {
+  std::size_t processor = 0;
+  double assigned = 0.0;           ///< α_k from the bid solution
+  double verified_computed = 0.0;  ///< partial work backed by signed claims
+  double settlement_paid = 0.0;    ///< E_k-style payout (verified · w̃_k)
+  double fine = 0.0;               ///< stays 0 for a genuine crash
+  DetectionReport detection;
+};
+
+struct FtRunReport {
+  RunReport round;  ///< the usual forensic report (ledger, incidents, ...)
+
+  bool any_crash = false;
+  bool recovered = false;  ///< survivors absorbed the full residual
+  std::vector<CrashSettlement> crashes;
+  std::vector<DetectionReport> detection;     ///< per processor (index 0 unused)
+  std::vector<UnderComputeVerdict> verdicts;  ///< per processor
+
+  std::vector<std::size_t> survivors;   ///< indices that stayed alive
+  double residual_load = 0.0;           ///< redistributed in the recovery pass
+  dlt::LinearSolution recovery_solution;  ///< Algorithm 1 on the prefix
+  std::optional<sim::ExecutionResult> recovery_execution;  ///< unit-load run
+  sim::Time recovery_start = 0.0;       ///< max confirmation instant
+  double degraded_makespan = 0.0;       ///< incl. detection + recovery pass
+  double detection_latency = 0.0;       ///< max over confirmed crashes
+  std::vector<sim::FaultEvent> fault_events;
+};
+
+/// Runs one fault-tolerant round. With an empty fault plan this is
+/// exactly run_protocol. Crash specs on processor 0 are rejected — the
+/// root is the trusted dispatcher, as in the paper.
+FtRunReport run_protocol_ft(const net::LinearNetwork& true_network,
+                            const agents::Population& population,
+                            const ProtocolOptions& options,
+                            const FaultToleranceOptions& ft);
+
+}  // namespace dls::protocol

@@ -26,6 +26,8 @@ std::string to_string(Incident::Kind kind) {
       return "false-accusation";
     case Incident::Kind::kDataCorruption:
       return "data-corruption";
+    case Incident::Kind::kCrash:
+      return "crash";
   }
   return "unknown";
 }

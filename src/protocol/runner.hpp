@@ -39,6 +39,7 @@ struct Incident {
     kOvercharge,             ///< Phase IV, case (iv)
     kFalseAccusation,        ///< case (v)
     kDataCorruption,         ///< Thm 5.2 (not fined; costs the bonus S)
+    kCrash,                  ///< confirmed fail-stop fault (not fined)
   };
   Kind kind{};
   std::size_t accused = 0;

@@ -1,6 +1,7 @@
 #include "protocol/session.hpp"
 
 #include "common/error.hpp"
+#include "sim/faults.hpp"
 
 namespace dls::protocol {
 
@@ -12,11 +13,16 @@ SessionReport run_session(const net::LinearNetwork& true_network,
               "population must cover every non-root processor");
   DLS_REQUIRE(options.rounds >= 1, "session needs at least one round");
   DLS_REQUIRE(options.exclusion_bid > 0.0, "exclusion bid must be positive");
+  DLS_REQUIRE(options.crash_probability >= 0.0 &&
+                  options.crash_probability <= 1.0,
+              "crash probability must lie in [0, 1]");
 
   SessionReport session;
   session.wealth.assign(n, 0.0);
   session.strikes.assign(n, 0);
   session.excluded_at.assign(n, 0);
+  session.crash_counts.assign(n, 0);
+  common::Rng fault_rng(options.round_options.seed ^ 0xfa17ull);
 
   for (std::size_t round = 1; round <= options.rounds; ++round) {
     // Build this round's effective population: excluded processors act
@@ -41,13 +47,34 @@ SessionReport run_session(const net::LinearNetwork& true_network,
     for (std::size_t i = 1; i < n; ++i) {
       if (session.excluded_at[i] != 0) round_options.unpaid.push_back(i);
     }
-    RunReport report = run_protocol(
-        true_network, agents::Population(std::move(agents)), round_options);
+
+    RunReport report;
+    if (options.crash_probability > 0.0) {
+      FaultToleranceOptions ft;
+      ft.heartbeat = options.heartbeat;
+      ft.faults = sim::FaultPlan::random_crashes(
+          n, options.crash_probability, fault_rng);
+      FtRunReport ft_report =
+          run_protocol_ft(true_network, agents::Population(std::move(agents)),
+                          round_options, ft);
+      for (const CrashSettlement& settlement : ft_report.crashes) {
+        ++session.crash_counts[settlement.processor];
+        ++session.crashes_total;
+        session.detection_latency_sum += settlement.detection.latency();
+      }
+      report = std::move(ft_report.round);
+    } else {
+      report = run_protocol(
+          true_network, agents::Population(std::move(agents)), round_options);
+    }
 
     for (std::size_t i = 0; i < n; ++i) {
       session.wealth[i] += report.processors[i].utility;
     }
     for (const auto& incident : report.incidents) {
+      // A confirmed crash is a fault, not a deviation — no strike (the
+      // machine reboots and rejoins the next round).
+      if (incident.kind == Incident::Kind::kCrash) continue;
       const std::size_t loser =
           incident.substantiated ? incident.accused : incident.reporter;
       if (loser == 0) continue;  // the root is obedient by definition

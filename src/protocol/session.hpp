@@ -9,6 +9,13 @@
 // obedient infrastructure) but receives no assignment and no payments:
 // we model it by giving the excluded processor an effectively infinite
 // bid, which drives its allocated share to ~0 under Algorithm 1.
+//
+// Fault tolerance: with crash_probability > 0 every round draws a
+// deterministic chaos plan (seeded from the session seed) and runs
+// through the fault-tolerant runner — confirmed crashes are settled
+// with E_j recompense, survivors re-solve, and a crash neither fines
+// the victim nor counts as a reputation strike (machines reboot; the
+// node rejoins the next round).
 #pragma once
 
 #include <cstdint>
@@ -16,6 +23,7 @@
 
 #include "agents/agent.hpp"
 #include "net/networks.hpp"
+#include "protocol/recovery.hpp"
 #include "protocol/runner.hpp"
 
 namespace dls::protocol {
@@ -28,6 +36,12 @@ struct SessionOptions {
   std::size_t strikes_to_exclude = 2;
   /// The bid assigned to excluded processors (must dwarf real rates).
   double exclusion_bid = 1e6;
+
+  /// Per-round, per-processor crash probability; 0 keeps the fail-free
+  /// fast path. Crashes draw deterministically from the session seed.
+  double crash_probability = 0.0;
+  /// Timeout/retry knobs used when crash_probability > 0.
+  HeartbeatConfig heartbeat;
 };
 
 struct SessionReport {
@@ -35,9 +49,17 @@ struct SessionReport {
   std::vector<double> wealth;            ///< cumulative utility per index
   std::vector<std::size_t> strikes;      ///< substantiated incidents
   std::vector<std::size_t> excluded_at;  ///< round of exclusion (0 = never)
+  std::vector<std::size_t> crash_counts; ///< confirmed crashes per index
+  double detection_latency_sum = 0.0;    ///< over all confirmed crashes
+  std::size_t crashes_total = 0;
 
   bool is_excluded(std::size_t processor) const {
     return excluded_at.at(processor) != 0;
+  }
+  double mean_detection_latency() const {
+    return crashes_total == 0 ? 0.0
+                              : detection_latency_sum /
+                                    static_cast<double>(crashes_total);
   }
 };
 

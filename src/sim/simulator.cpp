@@ -6,15 +6,27 @@
 
 namespace dls::sim {
 
-void Simulator::schedule_at(Time at, Action action) {
+EventId Simulator::schedule_at(Time at, Action action) {
   DLS_REQUIRE(std::isfinite(at), "event time must be finite");
   DLS_REQUIRE(at >= now_, "cannot schedule into the past");
-  queue_.push(Entry{at, next_seq_++, std::move(action)});
+  const EventId id = next_seq_++;
+  queue_.push(Entry{at, id, std::move(action)});
+  pending_ids_.insert(id);
+  return id;
 }
 
-void Simulator::schedule_after(Time delay, Action action) {
+EventId Simulator::schedule_after(Time delay, Action action) {
   DLS_REQUIRE(delay >= 0.0, "delay must be non-negative");
-  schedule_at(now_ + delay, std::move(action));
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::cancel(EventId id) {
+  // An id is cancellable iff it is queued and not yet revoked; removal
+  // from the priority queue is lazy (the pop side skips it).
+  if (pending_ids_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  ++cancelled_total_;
+  return true;
 }
 
 Time Simulator::run() {
@@ -27,11 +39,21 @@ Time Simulator::run_until(Time horizon) {
     // entry we are about to pop (safe: no other reference exists).
     Entry entry = std::move(const_cast<Entry&>(queue_.top()));
     queue_.pop();
+    if (cancelled_.erase(entry.seq) != 0) continue;  // revoked: skip
+    pending_ids_.erase(entry.seq);
     now_ = entry.time;
     ++executed_;
     entry.action(*this);
   }
   return now_;
+}
+
+std::size_t Simulator::drop_pending() {
+  const std::size_t live = pending();
+  while (!queue_.empty()) queue_.pop();
+  cancelled_.clear();
+  pending_ids_.clear();
+  return live;
 }
 
 }  // namespace dls::sim

@@ -44,6 +44,21 @@ TEST(Recompense, PaysForExtraWork) {
   EXPECT_NEAR(recompense(0.3, 0.45, 2.0), 0.15 * 2.0, 1e-15);
 }
 
+TEST(Recompense, ExactAssignmentEarnsNothing) {
+  // (4.8) at the boundary α̃ = α: the max(·, 0) hinge is exactly zero —
+  // no windfall for merely doing the assigned work.
+  EXPECT_DOUBLE_EQ(recompense(0.3, 0.3, 2.0), 0.0);
+  // Just below the boundary it is zero too, not negative.
+  EXPECT_DOUBLE_EQ(recompense(0.3, 0.3 - 1e-12, 2.0), 0.0);
+}
+
+TEST(Recompense, ZeroAssignmentPaysAllComputedWork) {
+  // A processor assigned nothing that absorbed dumped (or recovery)
+  // load is paid for every unit of it.
+  EXPECT_NEAR(recompense(0.0, 0.2, 2.0), 0.4, 1e-15);
+  EXPECT_DOUBLE_EQ(recompense(0.0, 0.0, 2.0), 0.0);
+}
+
 TEST(EvaluatePayment, IdleProcessorGetsNothing) {
   PaymentInputs in;
   in.predecessor_bid = 1.0;

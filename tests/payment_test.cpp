@@ -51,6 +51,37 @@ TEST(Ledger, ConservationAlwaysHolds) {
   EXPECT_EQ(ledger.history().size(), 3u);
 }
 
+TEST(Ledger, ConservationHoldsThroughAPartiallySettledRound) {
+  // The fault-tolerant round splits settlement across several flavours:
+  // a crash victim's E_j recompense, survivors' recovery pay, a
+  // shedder's fine and the reporter's reward, and the root's
+  // reimbursement. Money must be conserved after EVERY leg — a crash
+  // mid-settlement may leave any prefix of these on the books.
+  Ledger ledger;
+  for (int i = 0; i <= 4; ++i) ledger.open_account(static_cast<unsigned>(i));
+
+  ledger.post({kTreasury, 1, TransferKind::kRecompense, 0.37, "crash E_1"});
+  EXPECT_NEAR(ledger.conservation_residual(), 0.0, 1e-12);
+  ledger.post({kTreasury, 2, TransferKind::kRecompense, 0.12, "recovery"});
+  EXPECT_NEAR(ledger.conservation_residual(), 0.0, 1e-12);
+  ledger.post({kTreasury, 2, TransferKind::kCompensation, 1.05, "Q_2"});
+  EXPECT_NEAR(ledger.conservation_residual(), 0.0, 1e-12);
+  ledger.post({3, kTreasury, TransferKind::kFine, 100.0, "shedding"});
+  EXPECT_NEAR(ledger.conservation_residual(), 0.0, 1e-12);
+  ledger.post({kTreasury, 4, TransferKind::kReward, 100.0, "report"});
+  EXPECT_NEAR(ledger.conservation_residual(), 0.0, 1e-12);
+  ledger.post({kTreasury, 0, TransferKind::kCompensation, 0.8, "root"});
+  EXPECT_NEAR(ledger.conservation_residual(), 0.0, 1e-12);
+
+  // The crashed node's books show recompense only — no fine legs.
+  EXPECT_DOUBLE_EQ(ledger.net_of_kind(1, TransferKind::kRecompense), 0.37);
+  EXPECT_DOUBLE_EQ(ledger.net_of_kind(1, TransferKind::kFine), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.balance(1), 0.37);
+  // The survivor's pay splits into E_2 + Q_2 on separate flows.
+  EXPECT_DOUBLE_EQ(ledger.net_of_kind(2, TransferKind::kRecompense), 0.12);
+  EXPECT_DOUBLE_EQ(ledger.net_of_kind(2, TransferKind::kCompensation), 1.05);
+}
+
 TEST(Ledger, NetOfKindSeparatesFlows) {
   Ledger ledger;
   ledger.open_account(1);
