@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the perf microbenchmark suite and writes a google-benchmark JSON
+# report, the format consumed by bench/check_perf_regression.py.
+#
+# Usage:
+#   bench/run_benches.sh [build-dir] [out.json] [extra benchmark args...]
+#
+# Examples:
+#   bench/run_benches.sh                      # build -> bench/BENCH_perf.json
+#   bench/run_benches.sh build /tmp/now.json \
+#     --benchmark_filter='^bm_solver/(16|256|4096)$|^bm_event_engine/1024$'
+#
+# Refresh the committed baseline after an intentional perf change with:
+#   bench/run_benches.sh build bench/BENCH_perf.json
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_json="${2:-$repo_root/bench/BENCH_perf.json}"
+shift $(( $# > 2 ? 2 : $# ))
+
+bench_bin="$build_dir/bench/bench_perf_micro"
+if [[ ! -x "$bench_bin" ]]; then
+  echo "error: $bench_bin not built (cmake --build $build_dir --target bench_perf_micro)" >&2
+  exit 1
+fi
+
+exec "$bench_bin" \
+  --benchmark_out="$out_json" \
+  --benchmark_out_format=json \
+  "$@"

@@ -17,14 +17,14 @@ UtilityCurve utility_vs_bid(const net::LinearNetwork& true_network,
   UtilityCurve curve;
   curve.true_rate = true_network.w(index);
   curve.bids = bid_grid;
-  curve.utilities.reserve(bid_grid.size());
-  for (const double bid : bid_grid) {
-    // Case (i) of Lemma 5.3: execution at full capacity regardless of bid.
-    curve.utilities.push_back(core::utility_under_bid(
-        true_network, index, bid, curve.true_rate, config));
-  }
-  curve.utility_at_truth = core::utility_under_bid(
-      true_network, index, curve.true_rate, curve.true_rate, config);
+  curve.utilities.resize(bid_grid.size());
+  // Case (i) of Lemma 5.3: execution at full capacity regardless of bid.
+  // The batched engine re-solves only the reduction prefix per point.
+  core::CounterfactualMechanism mech(true_network,
+                                     true_network.processing_times(), config);
+  mech.utility_curve(index, curve.bids, curve.utilities);
+  curve.utility_at_truth = mech.utility(index, curve.true_rate,
+                                        curve.true_rate);
   return curve;
 }
 
@@ -37,16 +37,17 @@ UtilityCurve utility_vs_speed(const net::LinearNetwork& true_network,
   curve.true_rate = true_network.w(index);
   curve.bids.reserve(rate_multipliers.size());
   curve.utilities.reserve(rate_multipliers.size());
+  core::CounterfactualMechanism mech(true_network,
+                                     true_network.processing_times(), config);
   for (const double mult : rate_multipliers) {
     DLS_REQUIRE(mult >= 1.0, "cannot execute faster than capacity");
     const double actual = curve.true_rate * mult;
     curve.bids.push_back(actual);
     // Case (ii): truthful bid, deviant execution speed.
-    curve.utilities.push_back(core::utility_under_bid(
-        true_network, index, curve.true_rate, actual, config));
+    curve.utilities.push_back(mech.utility(index, curve.true_rate, actual));
   }
-  curve.utility_at_truth = core::utility_under_bid(
-      true_network, index, curve.true_rate, curve.true_rate, config);
+  curve.utility_at_truth = mech.utility(index, curve.true_rate,
+                                        curve.true_rate);
   return curve;
 }
 

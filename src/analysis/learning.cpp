@@ -9,23 +9,15 @@ namespace dls::analysis {
 
 namespace {
 
-/// Utility of agent `i` when the population bids t_j * mult_j, everyone
-/// executing compliantly at capacity.
-double utility_of(const net::LinearNetwork& truth,
-                  const std::vector<double>& multipliers, std::size_t i,
-                  const core::MechanismConfig& mechanism) {
+/// Bid network for the profile t_j * mult_j (the root keeps its truth).
+net::LinearNetwork bid_network_of(const net::LinearNetwork& truth,
+                                  const std::vector<double>& multipliers) {
   const std::size_t n = truth.size();
-  std::vector<double> w(n), actual(n);
-  w[0] = actual[0] = truth.w(0);
-  for (std::size_t j = 1; j < n; ++j) {
-    w[j] = truth.w(j) * multipliers[j - 1];
-    actual[j] = truth.w(j);
-  }
-  const net::LinearNetwork bids(
+  std::vector<double> w(n);
+  w[0] = truth.w(0);
+  for (std::size_t j = 1; j < n; ++j) w[j] = truth.w(j) * multipliers[j - 1];
+  return net::LinearNetwork(
       std::move(w), {truth.link_times().begin(), truth.link_times().end()});
-  const core::DlsLblResult result =
-      core::assess_compliant(bids, actual, mechanism);
-  return result.processors[i].money.utility;
 }
 
 }  // namespace
@@ -53,14 +45,18 @@ LearningTrace run_best_response_dynamics(const net::LinearNetwork& truth,
     trace.multipliers.push_back(mult);
     std::vector<double> epoch_utilities(m, 0.0);
     // Round-robin revisions: each agent best-responds to the CURRENT
-    // profile (including earlier revisions this epoch).
+    // profile (including earlier revisions this epoch). Probing candidate
+    // bids against a fixed rest-of-population is exactly the incremental
+    // counterfactual pattern: one base solve per revision, O(i) per probe.
     for (std::size_t i = 0; i < m; ++i) {
+      const net::LinearNetwork bids = bid_network_of(truth, mult);
+      core::CounterfactualMechanism mech(bids, truth.processing_times(),
+                                         config.mechanism);
       double best_u = -1e300;
       double best_c = mult[i];
       for (const double c : config.candidates) {
-        std::vector<double> probe = mult;
-        probe[i] = c;
-        const double u = utility_of(truth, probe, i + 1, config.mechanism);
+        const double u =
+            mech.utility(i + 1, truth.w(i + 1) * c, truth.w(i + 1));
         if (u > best_u + 1e-12) {
           best_u = u;
           best_c = c;

@@ -1,12 +1,8 @@
 #include "analysis/parallel.hpp"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <thread>
-#include <vector>
 
-#include "common/error.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace dls::analysis {
 
@@ -18,40 +14,8 @@ std::size_t default_workers() noexcept {
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body,
                   std::size_t workers) {
-  DLS_REQUIRE(static_cast<bool>(body), "parallel_for requires a body");
-  if (count == 0) return;
-  if (workers == 0) workers = default_workers();
-  workers = std::min(workers, count);
-  if (workers == 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
-    return;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::atomic<bool> failed{false};
-
-  auto work = [&]() {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count || failed.load(std::memory_order_relaxed)) return;
-      try {
-        body(i);
-      } catch (...) {
-        const std::scoped_lock lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(work);
-  for (auto& thread : pool) thread.join();
-  if (first_error) std::rethrow_exception(first_error);
+  exec::ThreadPool::global().parallel_for(count, body,
+                                          {.max_workers = workers});
 }
 
 }  // namespace dls::analysis

@@ -5,6 +5,11 @@
 // while keeping results deterministic — each index writes to its own
 // pre-allocated slot and randomness comes from per-index spawned RNG
 // streams, so the output is identical at any worker count.
+//
+// This header is a thin forwarding shim kept for source compatibility:
+// the execution itself happens on the persistent work-stealing pool in
+// exec/thread_pool.hpp (no per-call thread spawn/join). Use the pool's
+// chunked API directly for new hot paths.
 #pragma once
 
 #include <cstddef>

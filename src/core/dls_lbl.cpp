@@ -4,21 +4,29 @@
 
 namespace dls::core {
 
-DlsLblResult assess_dls_lbl(const net::LinearNetwork& bid_network,
-                            std::span<const double> actual_rates,
-                            std::span<const double> computed_loads,
-                            const MechanismConfig& config,
-                            bool solution_found) {
+namespace {
+
+/// Shared body of every assess flavour: `result.solution` must already
+/// hold Algorithm 1 on the bid network; fills the per-processor
+/// assessments and totals, reusing result's buffers. When
+/// `computed_loads` is empty, compliant execution (α̃ = α) is assumed.
+void fill_assessments(const net::LinearNetwork& bid_network,
+                      std::span<const double> actual_rates,
+                      std::span<const double> computed_loads,
+                      const MechanismConfig& config, bool solution_found,
+                      DlsLblResult& result) {
   const std::size_t n = bid_network.size();
   DLS_REQUIRE(n >= 2, "the mechanism needs at least one strategic worker");
   DLS_REQUIRE(actual_rates.size() == n, "actual_rates size mismatch");
-  DLS_REQUIRE(computed_loads.size() == n, "computed_loads size mismatch");
+  DLS_REQUIRE(computed_loads.empty() || computed_loads.size() == n,
+              "computed_loads size mismatch");
 
-  DlsLblResult result;
-  result.solution = dlt::solve_linear_boundary(bid_network);
   const dlt::LinearSolution& sol = result.solution;
+  if (computed_loads.empty()) computed_loads = sol.alpha;
 
   result.processors.resize(n);
+  result.total_payment = 0.0;
+  result.mechanism_cost = 0.0;
 
   // The obedient root: reimbursed exactly its cost, zero utility (4.3).
   {
@@ -66,33 +74,113 @@ DlsLblResult assess_dls_lbl(const net::LinearNetwork& bid_network,
   }
   result.mechanism_cost =
       result.total_payment + result.processors[0].money.compensation;
+}
+
+}  // namespace
+
+DlsLblResult assess_dls_lbl(const net::LinearNetwork& bid_network,
+                            std::span<const double> actual_rates,
+                            std::span<const double> computed_loads,
+                            const MechanismConfig& config,
+                            bool solution_found) {
+  DLS_REQUIRE(computed_loads.size() == bid_network.size(),
+              "computed_loads size mismatch");
+  DlsLblResult result;
+  dlt::solve_linear_boundary_into(bid_network, result.solution);
+  fill_assessments(bid_network, actual_rates, computed_loads, config,
+                   solution_found, result);
   return result;
 }
 
 DlsLblResult assess_compliant(const net::LinearNetwork& bid_network,
                               std::span<const double> actual_rates,
                               const MechanismConfig& config) {
-  const dlt::LinearSolution sol = dlt::solve_linear_boundary(bid_network);
-  return assess_dls_lbl(bid_network, actual_rates, sol.alpha, config);
+  DlsLblResult result;
+  dlt::solve_linear_boundary_into(bid_network, result.solution);
+  fill_assessments(bid_network, actual_rates, /*computed_loads=*/{}, config,
+                   /*solution_found=*/true, result);
+  return result;
+}
+
+const DlsLblResult& assess_dls_lbl(const net::LinearNetwork& bid_network,
+                                   std::span<const double> actual_rates,
+                                   std::span<const double> computed_loads,
+                                   const MechanismConfig& config,
+                                   bool solution_found, AssessWorkspace& ws) {
+  DLS_REQUIRE(computed_loads.size() == bid_network.size(),
+              "computed_loads size mismatch");
+  dlt::solve_linear_boundary_into(bid_network, ws.result.solution,
+                                  /*want_steps=*/false);
+  fill_assessments(bid_network, actual_rates, computed_loads, config,
+                   solution_found, ws.result);
+  return ws.result;
+}
+
+const DlsLblResult& assess_compliant(const net::LinearNetwork& bid_network,
+                                     std::span<const double> actual_rates,
+                                     const MechanismConfig& config,
+                                     AssessWorkspace& ws) {
+  dlt::solve_linear_boundary_into(bid_network, ws.result.solution,
+                                  /*want_steps=*/false);
+  fill_assessments(bid_network, actual_rates, /*computed_loads=*/{}, config,
+                   /*solution_found=*/true, ws.result);
+  return ws.result;
 }
 
 double utility_under_bid(const net::LinearNetwork& true_network,
                          std::size_t index, double bid, double actual_rate,
                          const MechanismConfig& config) {
-  const std::size_t n = true_network.size();
-  DLS_REQUIRE(index >= 1 && index < n, "index must name a strategic worker");
-  DLS_REQUIRE(bid > 0.0, "bid must be positive");
   DLS_REQUIRE(actual_rate >= true_network.w(index) - 1e-12,
               "cannot execute faster than the true rate");
+  CounterfactualMechanism mech(true_network,
+                               true_network.processing_times(), config);
+  return mech.utility(index, bid, actual_rate);
+}
 
-  const net::LinearNetwork bid_network =
-      true_network.with_processing_time(index, bid);
-  std::vector<double> actual(true_network.processing_times().begin(),
-                             true_network.processing_times().end());
-  actual[index] = actual_rate;
-  const DlsLblResult result =
-      assess_compliant(bid_network, actual, config);
-  return result.processors[index].money.utility;
+CounterfactualMechanism::CounterfactualMechanism(
+    const net::LinearNetwork& bid_base, std::span<const double> actual_rates,
+    const MechanismConfig& config)
+    : solver_(bid_base),
+      actual_(actual_rates.begin(), actual_rates.end()),
+      config_(config) {
+  DLS_REQUIRE(bid_base.size() >= 2,
+              "the mechanism needs at least one strategic worker");
+  DLS_REQUIRE(actual_.size() == bid_base.size(),
+              "actual_rates size mismatch");
+}
+
+double CounterfactualMechanism::utility(std::size_t index, double bid,
+                                        double actual_rate) {
+  const std::size_t n = solver_.size();
+  DLS_REQUIRE(index >= 1 && index < n, "index must name a strategic worker");
+  DLS_REQUIRE(actual_rate > 0.0, "actual rate must be positive");
+
+  const dlt::CounterfactualSolver::Rebid r = solver_.rebid(index, bid);
+
+  // Mirror of assess_dls_lbl for the single queried processor under
+  // compliant execution (α̃ = α from the counterfactual bid solution).
+  PaymentInputs in;
+  in.predecessor_bid = solver_.w(index - 1);
+  in.link_z = solver_.z(index);
+  in.alpha_hat_pred = r.alpha_hat_pred;
+  in.alpha = r.alpha;
+  in.computed = r.alpha;
+  in.actual_rate = actual_rate;
+  in.w_hat = config_.verify_actual_rates
+                 ? w_hat(/*terminal=*/index + 1 == n, bid, actual_rate,
+                         r.alpha_hat, r.equivalent_w)
+                 : r.equivalent_w;  // ablation: trust the bids blindly
+  return evaluate_payment(in, config_).utility;
+}
+
+void CounterfactualMechanism::utility_curve(std::size_t index,
+                                            std::span<const double> bids,
+                                            std::span<double> utilities) {
+  DLS_REQUIRE(bids.size() == utilities.size(),
+              "utility_curve output size mismatch");
+  for (std::size_t k = 0; k < bids.size(); ++k) {
+    utilities[k] = utility(index, bids[k], actual_[index]);
+  }
 }
 
 double cheating_profit_bound(const net::LinearNetwork& bid_network) {

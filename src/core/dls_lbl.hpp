@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/payment_rules.hpp"
+#include "dlt/counterfactual.hpp"
 #include "dlt/linear.hpp"
 #include "net/networks.hpp"
 
@@ -57,6 +58,26 @@ DlsLblResult assess_compliant(const net::LinearNetwork& bid_network,
                               std::span<const double> actual_rates,
                               const MechanismConfig& config);
 
+/// Caller-owned reusable buffers for the assessment hot path: Monte-Carlo
+/// loops re-use one workspace and pay zero heap allocations per call once
+/// the buffers have warmed to the chain size. The solver skips building
+/// the reduction trace (`steps`) in this flavour.
+struct AssessWorkspace {
+  DlsLblResult result;
+};
+
+/// Workspace flavours; both return ws.result.
+const DlsLblResult& assess_dls_lbl(const net::LinearNetwork& bid_network,
+                                   std::span<const double> actual_rates,
+                                   std::span<const double> computed_loads,
+                                   const MechanismConfig& config,
+                                   bool solution_found, AssessWorkspace& ws);
+
+const DlsLblResult& assess_compliant(const net::LinearNetwork& bid_network,
+                                     std::span<const double> actual_rates,
+                                     const MechanismConfig& config,
+                                     AssessWorkspace& ws);
+
 /// Counterfactual utility for strategyproofness sweeps: in the network of
 /// *true* rates `true_network`, processor `index` (>= 1) bids `bid` and
 /// executes at `actual_rate` (>= its true rate) while everyone else is
@@ -64,6 +85,40 @@ DlsLblResult assess_compliant(const net::LinearNetwork& bid_network,
 double utility_under_bid(const net::LinearNetwork& true_network,
                          std::size_t index, double bid, double actual_rate,
                          const MechanismConfig& config);
+
+/// Batched counterfactual utilities for THM5.3-style sweeps.
+///
+/// Fixes the rest of the population (the base network's bids and the
+/// metered actual rates) once, then answers "what is U_j when P_j bids w
+/// and executes at w̃" via dlt::CounterfactualSolver: only the reduction
+/// prefix 0..j is recomputed and only P_j's payment is evaluated —
+/// O(j) per query with zero heap allocation, versus two full Algorithm 1
+/// runs plus an n-processor assessment per point through
+/// utility_under_bid. A processor's utility depends on the bid solution
+/// and its own metered rate only, so the answers are bit-identical to
+/// the full assessment. Holds mutable scratch — one instance per thread.
+class CounterfactualMechanism {
+ public:
+  /// `actual_rates` are the metered rates of the base population
+  /// (actual_rates[0] is the obedient root's, used only for sizing).
+  CounterfactualMechanism(const net::LinearNetwork& bid_base,
+                          std::span<const double> actual_rates,
+                          const MechanismConfig& config);
+
+  /// U_index when bidding `bid` and executing compliantly at
+  /// `actual_rate`; everyone else per the base profile. index >= 1.
+  double utility(std::size_t index, double bid, double actual_rate);
+
+  /// Batched case (i) of Lemma 5.3: vary the bid, execute at the base
+  /// actual rate. Writes utilities[k] = U_index(bids[k]).
+  void utility_curve(std::size_t index, std::span<const double> bids,
+                     std::span<double> utilities);
+
+ private:
+  dlt::CounterfactualSolver solver_;
+  std::vector<double> actual_;
+  MechanismConfig config_;
+};
 
 /// Upper bound on the profit any single deviation can extract from this
 /// instance — used to size the fine F ("larger than any potential

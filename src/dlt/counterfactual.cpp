@@ -1,0 +1,69 @@
+#include "dlt/counterfactual.hpp"
+
+#include "common/error.hpp"
+
+namespace dls::dlt {
+
+CounterfactualSolver::CounterfactualSolver(const net::LinearNetwork& network)
+    : w_(network.processing_times().begin(), network.processing_times().end()),
+      z_(network.link_times().begin(), network.link_times().end()),
+      ah_scratch_(network.size(), 0.0) {
+  solve_linear_boundary_into(network, base_, /*want_steps=*/false);
+}
+
+CounterfactualSolver::Rebid CounterfactualSolver::rebid(std::size_t index,
+                                                        double bid) {
+  const std::size_t n = w_.size();
+  DLS_REQUIRE(index < n, "processor index out of range");
+  DLS_REQUIRE(bid > 0.0, "bid must be positive");
+
+  Rebid r;
+  r.index = index;
+  r.bid = bid;
+
+  // Collapse step for the re-bid processor itself: the suffix beyond it
+  // is untouched, so its cached equivalent time feeds eq. (2.7) directly.
+  if (index + 1 == n) {
+    r.alpha_hat = 1.0;
+    r.equivalent_w = bid;
+  } else {
+    r.alpha_hat = pair_alpha_hat(bid, z(index + 1), base_.equivalent_w[index + 1]);
+    r.equivalent_w = r.alpha_hat * bid;  // eq. (2.4)
+  }
+  ah_scratch_[index] = r.alpha_hat;
+
+  // Recompute the prefix 0..index-1 — identical arithmetic to the full
+  // backward pass, seeded with the counterfactual tail.
+  double eqw = r.equivalent_w;
+  for (std::size_t i = index; i-- > 0;) {
+    const double ah = pair_alpha_hat(w_[i], z(i + 1), eqw);
+    ah_scratch_[i] = ah;
+    eqw = ah * w_[i];
+  }
+  r.makespan = eqw;  // w̄_0 (= r.equivalent_w when index == 0)
+
+  // Forward unroll only as far as the queried processor.
+  double remaining = 1.0;
+  for (std::size_t i = 0; i < index; ++i) remaining *= (1.0 - ah_scratch_[i]);
+  r.alpha = remaining * r.alpha_hat;
+  r.alpha_hat_pred = index > 0 ? ah_scratch_[index - 1] : 0.0;
+  return r;
+}
+
+CounterfactualSolver::Rebid CounterfactualSolver::rebid_allocation(
+    std::size_t index, double bid, std::vector<double>& alpha_out) {
+  const Rebid r = rebid(index, bid);
+  const std::size_t n = w_.size();
+  alpha_out.assign(n, 0.0);
+  double remaining = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // α̂ comes from the rebid prefix up to `index`, from the cached base
+    // solution beyond it.
+    const double ah = i <= index ? ah_scratch_[i] : base_.alpha_hat[i];
+    alpha_out[i] = remaining * ah;
+    remaining *= (1.0 - ah);
+  }
+  return r;
+}
+
+}  // namespace dls::dlt

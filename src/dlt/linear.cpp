@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/tolerance.hpp"
@@ -26,41 +27,57 @@ double pair_realized_w(double alpha_hat, double w_front, double z,
                   (1.0 - alpha_hat) * (z + tail_actual_w));
 }
 
-LinearSolution solve_linear_boundary(const net::LinearNetwork& network) {
+void solve_linear_boundary_into(const net::LinearNetwork& network,
+                                LinearSolution& out, bool want_steps) {
   const std::size_t n = network.size();
-  LinearSolution sol;
-  sol.alpha.assign(n, 0.0);
-  sol.alpha_hat.assign(n, 0.0);
-  sol.equivalent_w.assign(n, 0.0);
-  sol.received.assign(n, 0.0);
+  out.alpha.assign(n, 0.0);
+  out.alpha_hat.assign(n, 0.0);
+  out.equivalent_w.assign(n, 0.0);
+  out.received.assign(n, 0.0);
+  out.steps.clear();
 
   // Steps 1-6 of Algorithm 1: collapse from the far end toward the root.
-  sol.alpha_hat[n - 1] = 1.0;
-  sol.equivalent_w[n - 1] = network.w(n - 1);
-  sol.steps.reserve(n - 1);
+  out.alpha_hat[n - 1] = 1.0;
+  out.equivalent_w[n - 1] = network.w(n - 1);
+  if (want_steps) out.steps.reserve(n - 1);
   for (std::size_t i = n - 1; i-- > 0;) {
-    const double tail_w = sol.equivalent_w[i + 1];
+    const double tail_w = out.equivalent_w[i + 1];
     const double link_z = network.z(i + 1);
     const double ah = pair_alpha_hat(network.w(i), link_z, tail_w);
-    sol.alpha_hat[i] = ah;
-    sol.equivalent_w[i] = ah * network.w(i);  // eq. (2.4)
-    sol.steps.push_back(
-        ReductionStep{i, ah, sol.equivalent_w[i], tail_w, link_z});
+    out.alpha_hat[i] = ah;
+    out.equivalent_w[i] = ah * network.w(i);  // eq. (2.4)
+    if (want_steps) {
+      out.steps.push_back(
+          ReductionStep{i, ah, out.equivalent_w[i], tail_w, link_z});
+    }
   }
 
   // Steps 7-10: unroll local fractions into global ones.
   double remaining = 1.0;
   for (std::size_t i = 0; i < n; ++i) {
-    sol.received[i] = remaining;
-    sol.alpha[i] = remaining * sol.alpha_hat[i];
-    remaining *= (1.0 - sol.alpha_hat[i]);
+    out.received[i] = remaining;
+    out.alpha[i] = remaining * out.alpha_hat[i];
+    remaining *= (1.0 - out.alpha_hat[i]);
   }
-  sol.makespan = sol.equivalent_w[0];
+  out.makespan = out.equivalent_w[0];
+}
+
+LinearSolution solve_linear_boundary(const net::LinearNetwork& network) {
+  LinearSolution sol;
+  solve_linear_boundary_into(network, sol, /*want_steps=*/true);
   return sol;
 }
 
-std::vector<double> finish_times(const net::LinearNetwork& network,
-                                 std::span<const double> alpha) {
+const LinearSolution& solve_linear_boundary(const net::LinearNetwork& network,
+                                            LinearSolverWorkspace& ws,
+                                            bool want_steps) {
+  solve_linear_boundary_into(network, ws.solution, want_steps);
+  return ws.solution;
+}
+
+void finish_times_into(const net::LinearNetwork& network,
+                       std::span<const double> alpha,
+                       std::vector<double>& out) {
   const std::size_t n = network.size();
   DLS_REQUIRE(alpha.size() == n, "allocation size must match network");
   double total = 0.0;
@@ -70,23 +87,42 @@ std::vector<double> finish_times(const net::LinearNetwork& network,
   }
   DLS_REQUIRE(total <= 1.0 + 1e-9, "allocation exceeds the unit load");
 
-  std::vector<double> t(n, 0.0);
-  t[0] = alpha[0] * network.w(0);  // eq. (2.1)
+  out.assign(n, 0.0);
+  out[0] = alpha[0] * network.w(0);  // eq. (2.1)
   double assigned = alpha[0];
   double arrival = 0.0;  // Σ_{k=1..j} D_k z_k so far
   for (std::size_t j = 1; j < n; ++j) {
     const double transiting = 1.0 - assigned;  // D_j
     arrival += transiting * network.z(j);
-    t[j] = alpha[j] > 0.0 ? arrival + alpha[j] * network.w(j) : 0.0;
+    out[j] = alpha[j] > 0.0 ? arrival + alpha[j] * network.w(j) : 0.0;
     assigned += alpha[j];
   }
+}
+
+std::vector<double> finish_times(const net::LinearNetwork& network,
+                                 std::span<const double> alpha) {
+  std::vector<double> t;
+  finish_times_into(network, alpha, t);
   return t;
+}
+
+std::span<const double> finish_times(const net::LinearNetwork& network,
+                                     std::span<const double> alpha,
+                                     LinearSolverWorkspace& ws) {
+  finish_times_into(network, alpha, ws.finish);
+  return ws.finish;
 }
 
 double makespan(const net::LinearNetwork& network,
                 std::span<const double> alpha) {
   const std::vector<double> t = finish_times(network, alpha);
   return *std::max_element(t.begin(), t.end());
+}
+
+double makespan(const net::LinearNetwork& network,
+                std::span<const double> alpha, LinearSolverWorkspace& ws) {
+  finish_times_into(network, alpha, ws.finish);
+  return *std::max_element(ws.finish.begin(), ws.finish.end());
 }
 
 double finish_time_spread(const net::LinearNetwork& network,

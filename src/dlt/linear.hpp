@@ -43,6 +43,27 @@ struct LinearSolution {
 /// non-positive rates (via LinearNetwork's own validation).
 LinearSolution solve_linear_boundary(const net::LinearNetwork& network);
 
+/// Allocation-free core of Algorithm 1: writes into `out`, reusing its
+/// buffers (no heap traffic once they have warmed to the chain size).
+/// `want_steps` false skips building the reduction trace entirely —
+/// Monte-Carlo loops never look at it.
+void solve_linear_boundary_into(const net::LinearNetwork& network,
+                                LinearSolution& out, bool want_steps = true);
+
+/// Caller-owned reusable buffers for the solver hot path. Construct one
+/// per thread (or per sweep), then every solve/finish-time call through
+/// it is allocation-free after the first.
+struct LinearSolverWorkspace {
+  LinearSolution solution;     ///< reused by solve_linear_boundary
+  std::vector<double> finish;  ///< reused by finish_times/makespan
+};
+
+/// Workspace flavour of Algorithm 1; returns ws.solution. Skips the
+/// reduction trace by default — pass want_steps if you need it.
+const LinearSolution& solve_linear_boundary(const net::LinearNetwork& network,
+                                            LinearSolverWorkspace& ws,
+                                            bool want_steps = false);
+
 /// The pairwise collapse of eq. (2.7): local fraction for a processor of
 /// unit time `w_front` feeding a tail of equivalent unit time `tail_w`
 /// across a link of unit time `z`. Requires positive arguments.
@@ -68,9 +89,24 @@ double pair_realized_w(double alpha_hat, double w_front, double z,
 std::vector<double> finish_times(const net::LinearNetwork& network,
                                  std::span<const double> alpha);
 
+/// Allocation-free flavour: writes into `out` (resized to fit, reused
+/// across calls).
+void finish_times_into(const net::LinearNetwork& network,
+                       std::span<const double> alpha,
+                       std::vector<double>& out);
+
+/// Workspace flavour; the returned span views ws.finish.
+std::span<const double> finish_times(const net::LinearNetwork& network,
+                                     std::span<const double> alpha,
+                                     LinearSolverWorkspace& ws);
+
 /// max over finish_times.
 double makespan(const net::LinearNetwork& network,
                 std::span<const double> alpha);
+
+/// Allocation-free max over finish_times via the workspace.
+double makespan(const net::LinearNetwork& network,
+                std::span<const double> alpha, LinearSolverWorkspace& ws);
 
 /// Largest pairwise relative gap between finish times of *participating*
 /// processors — 0 at the optimum by Theorem 2.1.

@@ -1,0 +1,204 @@
+// Tests for the persistent work-stealing pool (exec/thread_pool.hpp):
+// coverage, determinism at any worker count, grain control, exception
+// propagation with cancellation, nesting, and the analysis shim.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "analysis/experiments.hpp"
+#include "analysis/parallel.hpp"
+#include "analysis/sweep.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "exec/thread_pool.hpp"
+#include "net/networks.hpp"
+
+namespace {
+
+using dls::exec::ForOptions;
+using dls::exec::ThreadPool;
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kCount = 10'000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kCount; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ChunkApiCoversEveryIndexOnceUnderTinyGrain) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1'237;  // prime: uneven final chunk
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for_chunks(
+      kCount,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) ++hits[i];
+      },
+      ForOptions{.grain = 3});
+  for (std::size_t i = 0; i < kCount; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+// The core contract of the sweep engine: because every index writes only
+// its own slot and draws from its own RNG stream, a sweep is
+// bit-identical at 1, 2 and N workers.
+TEST(ThreadPool, SweepsAreBitIdenticalAtAnyWorkerCount) {
+  ThreadPool pool(7);
+  constexpr std::size_t kCount = 501;
+  const auto run = [&](std::size_t max_workers, std::size_t grain) {
+    std::vector<double> out(kCount);
+    pool.parallel_for(
+        kCount,
+        [&](std::size_t i) {
+          dls::common::Rng rng(42 + i);
+          out[i] = rng.uniform(0.0, 1.0) + rng.normal();
+        },
+        ForOptions{.grain = grain, .max_workers = max_workers});
+    return out;
+  };
+  const auto serial = run(1, 0);
+  EXPECT_EQ(serial, run(2, 0));
+  EXPECT_EQ(serial, run(0, 0));   // all workers
+  EXPECT_EQ(serial, run(0, 1));   // pathological grain: chunk per index
+  EXPECT_EQ(serial, run(5, 64));  // coarse chunks
+}
+
+// A real solver sweep (the workload the pool exists for) must also be
+// bit-identical: utility_vs_bid per index at every worker count.
+TEST(ThreadPool, SolverSweepBitIdenticalAcrossWorkerCounts) {
+  constexpr std::size_t kInstances = 48;
+  const dls::core::MechanismConfig config;
+  const auto run = [&](std::size_t workers) {
+    std::vector<double> gap(kInstances);
+    dls::analysis::parallel_for(
+        kInstances,
+        [&](std::size_t rep) {
+          dls::common::Rng rng(531 + 7919 * rep);
+          const auto m = static_cast<std::size_t>(rng.uniform_int(1, 8));
+          const auto net = dls::net::LinearNetwork::random(
+              m + 1, rng, dls::analysis::kWLo, dls::analysis::kWHi,
+              dls::analysis::kZLo, dls::analysis::kZHi);
+          const auto i = static_cast<std::size_t>(
+              rng.uniform_int(1, static_cast<std::int64_t>(m)));
+          const auto grid = dls::analysis::logspace(0.5, 2.0, 17);
+          const auto curve =
+              dls::analysis::utility_vs_bid(net, i, grid, config);
+          gap[rep] = dls::analysis::max_truth_advantage_gap(curve);
+        },
+        workers);
+    return gap;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(0));
+}
+
+// A body that throws mid-sweep cancels the job and rethrows on the
+// caller — at every worker count, for repeated submissions.
+TEST(ThreadPool, ThrowingBodyPropagatesAtEveryWorkerCount) {
+  ThreadPool pool(5);
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{0}}) {
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      std::vector<int> out(300, 0);
+      EXPECT_THROW(
+          pool.parallel_for(
+              out.size(),
+              [&](std::size_t i) {
+                if (i == 137) throw dls::Error("boom");
+                out[i] = static_cast<int>(i);
+              },
+              ForOptions{.max_workers = workers}),
+          dls::Error);
+      // Indices that did run wrote their own slot correctly.
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        if (i != 137 && out[i] != 0) EXPECT_EQ(out[i], static_cast<int>(i));
+      }
+    }
+    // The pool survives the exception: the next sweep runs to completion
+    // with results identical to a serial run.
+    std::vector<std::size_t> ok(100);
+    pool.parallel_for(ok.size(), [&](std::size_t i) { ok[i] = i * i; },
+                      ForOptions{.max_workers = workers});
+    for (std::size_t i = 0; i < ok.size(); ++i) EXPECT_EQ(ok[i], i * i);
+  }
+}
+
+TEST(ThreadPool, LowestIndexExceptionWinsWhenEveryBodyThrows) {
+  ThreadPool pool(4);
+  // Every chunk throws; the recorded error must be the lowest chunk's.
+  try {
+    pool.parallel_for_chunks(
+        64,
+        [](std::size_t begin, std::size_t) {
+          throw dls::Error("chunk " + std::to_string(begin));
+        },
+        ForOptions{.grain = 16});
+    FAIL() << "expected a throw";
+  } catch (const dls::Error& e) {
+    EXPECT_STREQ(e.what(), "chunk 0");
+  }
+}
+
+TEST(ThreadPool, NestedSubmissionsRunInline) {
+  ThreadPool pool(3);
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 32;
+  std::vector<std::vector<int>> out(kOuter, std::vector<int>(kInner, 0));
+  pool.parallel_for(kOuter, [&](std::size_t i) {
+    pool.parallel_for(kInner, [&](std::size_t j) {
+      out[i][j] = static_cast<int>(i * kInner + j);
+    });
+  });
+  for (std::size_t i = 0; i < kOuter; ++i) {
+    for (std::size_t j = 0; j < kInner; ++j) {
+      EXPECT_EQ(out[i][j], static_cast<int>(i * kInner + j));
+    }
+  }
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> atomic_calls{0};
+  pool.parallel_for(1, [&](std::size_t) { ++atomic_calls; },
+                    ForOptions{.max_workers = 16});
+  EXPECT_EQ(atomic_calls.load(), 1);
+}
+
+TEST(ThreadPool, GlobalPoolIsShared) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.worker_count(), 1u);
+}
+
+TEST(AnalysisShim, ForwardsToPoolWithWorkerCap) {
+  // The legacy analysis::parallel_for surface must keep its semantics:
+  // workers = 0 uses the pool, workers = 1 is serial, and results are
+  // identical either way.
+  constexpr std::size_t kCount = 256;
+  std::vector<double> serial(kCount), pooled(kCount);
+  dls::analysis::parallel_for(
+      kCount,
+      [&](std::size_t i) {
+        dls::common::Rng rng(7 * i + 1);
+        serial[i] = rng.uniform01();
+      },
+      1);
+  dls::analysis::parallel_for(kCount, [&](std::size_t i) {
+    dls::common::Rng rng(7 * i + 1);
+    pooled[i] = rng.uniform01();
+  });
+  EXPECT_EQ(serial, pooled);
+  EXPECT_THROW(
+      dls::analysis::parallel_for(
+          4, std::function<void(std::size_t)>{}),
+      dls::PreconditionError);
+}
+
+}  // namespace
