@@ -1,0 +1,32 @@
+#include "check/contracts.hpp"
+
+#include <atomic>
+#include <sstream>
+
+namespace dls::check {
+
+namespace {
+
+std::atomic<std::size_t> g_violations{0};
+
+}  // namespace
+
+std::size_t violation_count() noexcept {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void fail(const char* expr, const std::string& message,
+          const std::source_location& loc) {
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": contract `" << expr
+     << "` violated";
+  if (!message.empty()) os << ": " << message;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace dls::check

@@ -1,0 +1,99 @@
+// Contract-checking macros for the dlsmech libraries.
+//
+// DLS_REQUIRE (common/error.hpp) guards *caller* mistakes at API
+// boundaries and is always on. The macros here guard *our own*
+// arithmetic — the closed-form identities the paper proves (equal
+// finish times, the Q = C + B decomposition, ledger conservation) —
+// and are graded by cost:
+//
+//   DLS_CHECK(expr, msg)   O(1)-ish internal invariants. On unless the
+//                          build sets DLS_CHECK_LEVEL=0.
+//   DLS_DCHECK(expr, msg)  Potentially O(n) or O(n^2) validation (full
+//                          solution audits, counterfactual bit-identity
+//                          sweeps). On in Debug and CI builds
+//                          (DLS_CHECK_LEVEL >= 2), compiled out of
+//                          release binaries.
+//
+// The severity switch is the compile-time constant DLS_CHECK_LEVEL:
+//   0 — everything off (benchmarking emergencies only; never CI)
+//   1 — DLS_CHECK on (default for optimised builds)
+//   2 — DLS_CHECK and DLS_DCHECK on (default when NDEBUG is not
+//       defined; forced on in the sanitizer CI jobs)
+// CMake exposes it as the DLS_CHECK_LEVEL cache variable and applies it
+// project-wide so every translation unit agrees on the level.
+//
+// A failed contract throws dls::check::ContractViolation (a dls::Error)
+// carrying the expression, message and source location, and bumps a
+// process-wide counter that tests use to assert a checker actually
+// fired. Disabled macros still parse their arguments (inside sizeof)
+// so a level change cannot bit-rot call sites.
+#pragma once
+
+#include <cstddef>
+#include <source_location>
+#include <string>
+
+#include "common/error.hpp"
+
+#ifndef DLS_CHECK_LEVEL
+#ifdef NDEBUG
+#define DLS_CHECK_LEVEL 1
+#else
+#define DLS_CHECK_LEVEL 2
+#endif
+#endif
+
+namespace dls::check {
+
+/// An internal invariant did not hold: the library computed something
+/// inconsistent with the paper's closed forms. Always a bug in dlsmech
+/// (or memory corruption), never a caller error.
+class ContractViolation : public Error {
+ public:
+  explicit ContractViolation(const std::string& what) : Error(what) {}
+};
+
+/// The level this binary was compiled with.
+constexpr int compiled_level() noexcept { return DLS_CHECK_LEVEL; }
+
+/// True when contracts of the given level are compiled in.
+constexpr bool enabled(int level) noexcept { return DLS_CHECK_LEVEL >= level; }
+
+/// Number of ContractViolations thrown so far in this process (atomic).
+std::size_t violation_count() noexcept;
+
+namespace detail {
+
+/// Formats and throws; also bumps violation_count().
+[[noreturn]] void fail(const char* expr, const std::string& message,
+                       const std::source_location& loc);
+
+}  // namespace detail
+
+}  // namespace dls::check
+
+#if DLS_CHECK_LEVEL >= 1
+#define DLS_CHECK(expr, message)                                      \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::dls::check::detail::fail(#expr, (message),                    \
+                                 std::source_location::current());    \
+    }                                                                 \
+  } while (false)
+#else
+#define DLS_CHECK(expr, message)                                      \
+  do {                                                                \
+    (void)sizeof(!(expr));                                            \
+    (void)sizeof((message));                                          \
+  } while (false)
+#endif
+
+#if DLS_CHECK_LEVEL >= 2
+#define DLS_DCHECK(expr, message) DLS_CHECK(expr, message)
+#else
+#define DLS_DCHECK(expr, message)                                     \
+  do {                                                                \
+    (void)sizeof(!(expr));                                            \
+    (void)sizeof((message));                                          \
+  } while (false)
+#endif

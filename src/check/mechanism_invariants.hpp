@@ -1,0 +1,181 @@
+// Machine-checked statements of the mechanism's payment guarantees.
+//
+// check_assessment audits a DlsLblResult against the Sect. 4 payment
+// decomposition, identity by identity:
+//   * the root (4.3): reimbursed exactly its cost, zero utility;
+//   * valuation V_j = -α̃_j w̃_j (4.5) and recompense E_j (4.8);
+//   * compensation C_j = α_j w̃_j + E_j (4.7);
+//   * bonus B_j = w_{j-1} - w̄_{j-1}(α(bids), actuals) (4.9), with
+//     ŵ_j per (4.10)/(4.11) — or ŵ_j = w̄_j under the verification
+//     ablation;
+//   * payment Q_j = C_j + B_j [+ S] when α̃_j > 0, else Q_j = 0
+//     (4.6)/(4.13), and utility U_j = V_j + Q_j (4.4);
+//   * bonus non-negativity for truthful executors: a processor whose
+//     metered rate matches its bid can never see B_j < 0 (the Lemma 5.3
+//     direction that makes truthful bidding safe);
+//   * the totals: Σ Q_j and the mechanism's cost including the root.
+//
+// check_ledger_conservation audits the double-entry ledger: money is
+// conserved (all balances, treasury included, sum to zero) and every
+// posted transfer is a finite non-negative amount.
+//
+// Like the solver checkers, these re-derive every quantity from the bid
+// network and the per-processor inputs instead of trusting the
+// producer's intermediates.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+
+#include "check/contracts.hpp"
+#include "check/solver_invariants.hpp"
+#include "common/tolerance.hpp"
+#include "core/dls_lbl.hpp"
+#include "core/payment_rules.hpp"
+#include "dlt/linear.hpp"
+#include "net/networks.hpp"
+#include "payment/ledger.hpp"
+
+namespace dls::check {
+
+/// Default relative tolerance for payment audits (same headroom
+/// rationale as kSolverAuditTol).
+inline constexpr double kPaymentAuditTol = 1e-7;
+
+/// Throws ContractViolation unless `result` is internally consistent
+/// with the Sect. 4 payment rules for `bid_network` under `config`.
+/// Pass check_solution = false when the embedded LinearSolution was
+/// already audited by the producer (avoids the double O(n) sweep).
+inline void check_assessment(const net::LinearNetwork& bid_network,
+                             const core::DlsLblResult& result,
+                             const core::MechanismConfig& config,
+                             double tol = kPaymentAuditTol,
+                             bool check_solution = true) {
+  const std::size_t n = bid_network.size();
+  const auto at = [](const char* name, std::size_t j) {
+    return std::string(name) + " for P" + std::to_string(j);
+  };
+  DLS_CHECK(n >= 2, "an assessment needs at least one strategic worker");
+  DLS_CHECK(result.processors.size() == n,
+            "assessment must cover every processor");
+  if (check_solution) {
+    check_linear_solution(bid_network, result.solution, tol);
+  }
+
+  // The obedient root (4.3).
+  {
+    const core::Assessment& root = result.processors[0];
+    const double cost = root.computed * root.actual_rate;
+    DLS_CHECK(root.index == 0, "root assessment must carry index 0");
+    DLS_CHECK(common::approx_equal(root.money.valuation, -cost, tol),
+              "root valuation must be its computing cost");
+    DLS_CHECK(common::approx_equal(root.money.payment, cost, tol) &&
+                  common::approx_equal(root.money.compensation, cost, tol),
+              "root must be reimbursed exactly its cost");
+    DLS_CHECK(common::approx_equal(root.money.utility, 0.0, tol),
+              "the obedient root's utility must be zero");
+  }
+
+  double total_payment = 0.0;
+  for (std::size_t j = 1; j < n; ++j) {
+    const core::Assessment& a = result.processors[j];
+    const core::PaymentBreakdown& m = a.money;
+    DLS_CHECK(a.index == j, at("assessment index mismatch", j));
+    DLS_CHECK(common::approx_equal(a.alpha, result.solution.alpha[j], tol) &&
+                  common::approx_equal(a.alpha_hat,
+                                       result.solution.alpha_hat[j], tol) &&
+                  common::approx_equal(a.equivalent_bid,
+                                       result.solution.equivalent_w[j], tol),
+              at("assessment disagrees with the bid solution", j));
+
+    // ŵ_j per (4.10)/(4.11), or the ablated bid-trusting variant.
+    const double expect_w_hat =
+        config.verify_actual_rates
+            ? core::w_hat(j + 1 == n, a.bid_rate, a.actual_rate, a.alpha_hat,
+                          a.equivalent_bid)
+            : a.equivalent_bid;
+    DLS_CHECK(common::approx_equal(a.w_hat, expect_w_hat, tol),
+              at("verified rate ŵ disagrees with (4.10)/(4.11)", j));
+
+    // Valuation (4.5) and recompense (4.8).
+    DLS_CHECK(common::approx_equal(m.valuation,
+                                   -a.computed * a.actual_rate, tol),
+              at("valuation must be -α̃ w̃", j));
+    DLS_CHECK(m.recompense >= 0.0, at("negative recompense", j));
+    const double expect_recompense =
+        a.computed >= a.alpha ? (a.computed - a.alpha) * a.actual_rate : 0.0;
+
+    if (a.computed <= 0.0) {
+      // Q_j = 0: no work, no pay (4.6).
+      DLS_CHECK(m.payment == 0.0 && m.compensation == 0.0 &&
+                    m.bonus == 0.0 && m.solution_bonus == 0.0,
+                at("a processor that computed nothing must be paid nothing",
+                   j));
+      DLS_CHECK(common::approx_equal(m.utility, m.valuation, tol),
+                at("utility must collapse to the valuation", j));
+      continue;
+    }
+
+    DLS_CHECK(common::approx_equal(m.recompense, expect_recompense, tol),
+              at("recompense disagrees with (4.8)", j));
+    DLS_CHECK(common::approx_equal(
+                  m.compensation, a.alpha * a.actual_rate + m.recompense,
+                  tol),
+              at("compensation disagrees with (4.7)", j));
+
+    // Bonus (4.9) through the realised two-processor reduction.
+    const double realized = dlt::pair_realized_w(
+        result.solution.alpha_hat[j - 1], bid_network.w(j - 1),
+        bid_network.z(j), a.w_hat);
+    DLS_CHECK(common::approx_equal(m.realized_equivalent, realized, tol),
+              at("realised equivalent time disagrees with (2.3)", j));
+    DLS_CHECK(common::approx_equal(m.bonus,
+                                   bid_network.w(j - 1) - realized, tol),
+              at("bonus disagrees with (4.9)", j));
+    if (common::approx_equal(a.actual_rate, a.bid_rate, tol)) {
+      DLS_CHECK(common::approx_ge(m.bonus, 0.0, tol),
+                at("truthful execution must never forfeit bonus", j));
+    }
+
+    // Solution bonus (4.13) and the Q/U assembly (4.4)/(4.6).
+    DLS_CHECK(m.solution_bonus == 0.0 ||
+                  (config.solution_bonus_enabled &&
+                   common::approx_equal(m.solution_bonus,
+                                        config.solution_bonus, tol)),
+              at("unexpected solution bonus", j));
+    DLS_CHECK(common::approx_equal(
+                  m.payment, m.compensation + m.bonus + m.solution_bonus,
+                  tol),
+              at("payment must decompose as Q = C + B + S", j));
+    DLS_CHECK(common::approx_equal(m.utility, m.valuation + m.payment, tol),
+              at("utility must decompose as U = V + Q", j));
+    total_payment += m.payment;
+  }
+
+  DLS_CHECK(common::approx_equal(result.total_payment, total_payment, tol),
+            "total payment must be the sum over strategic processors");
+  DLS_CHECK(common::approx_equal(
+                result.mechanism_cost,
+                total_payment + result.processors[0].money.compensation,
+                tol),
+            "mechanism cost must add the root reimbursement");
+}
+
+/// Throws ContractViolation unless the ledger conserves money and every
+/// posted transfer is well-formed. Scale-aware: the residual is compared
+/// against the total transferred volume.
+inline void check_ledger_conservation(const payment::Ledger& ledger,
+                                      double tol = kPaymentAuditTol) {
+  double volume = 0.0;
+  for (const payment::Transfer& t : ledger.history()) {
+    DLS_CHECK(std::isfinite(t.amount) && t.amount >= 0.0,
+              "transfer amounts must be finite and non-negative");
+    volume += t.amount;
+  }
+  DLS_CHECK(std::abs(ledger.conservation_residual()) <=
+                tol * std::max(volume, 1.0),
+            "ledger must conserve money across all accounts");
+}
+
+}  // namespace dls::check

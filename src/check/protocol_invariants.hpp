@@ -1,0 +1,97 @@
+// Machine-checked protocol-state legality.
+//
+// PhaseOrderChecker encodes the paper's four-phase message order as a
+// tiny state machine: a round moves strictly forward through
+// bids (I) -> allocation (II) -> execution (III) -> settlement (IV),
+// and the only legal shortcut is the abort the paper prescribes when a
+// Phase I/II grievance is substantiated. Any other transition is a
+// protocol-implementation bug and throws ContractViolation.
+//
+// check_token_split encodes the Λ-token rule of footnote 1: when a
+// processor retains part of an identified batch and forwards the rest,
+// the two parts must exactly partition what it received, in order, with
+// every identifier valid — conservation of proof-of-receipt.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "check/contracts.hpp"
+#include "protocol/tokens.hpp"
+
+namespace dls::check {
+
+/// The stations of one protocol round, in legal order.
+enum class ProtocolPhase {
+  kSetup,       ///< PKI enrolment, ledger accounts, bid solution
+  kBids,        ///< Phase I: equivalent bids flow toward the root
+  kAllocation,  ///< Phase II: allocation messages flow outward
+  kExecution,   ///< Phase III: load distribution and computation
+  kSettlement,  ///< Phase IV: metering, billing, audits
+  kDone,        ///< round finalised (normally or by abort)
+};
+
+inline std::string to_string(ProtocolPhase phase) {
+  switch (phase) {
+    case ProtocolPhase::kSetup:
+      return "setup";
+    case ProtocolPhase::kBids:
+      return "bids";
+    case ProtocolPhase::kAllocation:
+      return "allocation";
+    case ProtocolPhase::kExecution:
+      return "execution";
+    case ProtocolPhase::kSettlement:
+      return "settlement";
+    case ProtocolPhase::kDone:
+      return "done";
+  }
+  return "unknown";
+}
+
+/// Forward-only phase tracker. advance() throws ContractViolation on an
+/// illegal transition; the only non-adjacent move it accepts is the
+/// substantiated-grievance abort from Phase I/II straight to kDone.
+class PhaseOrderChecker {
+ public:
+  ProtocolPhase current() const noexcept { return phase_; }
+
+  void advance(ProtocolPhase next) {
+    const bool adjacent =
+        static_cast<int>(next) == static_cast<int>(phase_) + 1;
+    const bool abort = next == ProtocolPhase::kDone &&
+                       (phase_ == ProtocolPhase::kBids ||
+                        phase_ == ProtocolPhase::kAllocation);
+    DLS_CHECK(adjacent || abort, "illegal protocol phase transition " +
+                                     to_string(phase_) + " -> " +
+                                     to_string(next));
+    phase_ = next;
+  }
+
+ private:
+  ProtocolPhase phase_ = ProtocolPhase::kSetup;
+};
+
+/// Throws ContractViolation unless (retained, forwarded) is a legal
+/// split of `received`: the retained prefix plus the forwarded suffix
+/// reproduce the received batch identifier-for-identifier, and every
+/// identifier was genuinely issued by `authority`.
+inline void check_token_split(const protocol::TokenAuthority& authority,
+                              const protocol::TokenBatch& received,
+                              const protocol::TokenBatch& retained,
+                              const protocol::TokenBatch& forwarded) {
+  DLS_CHECK(retained.blocks() + forwarded.blocks() == received.blocks(),
+            "token split must conserve the received block count");
+  for (std::size_t k = 0; k < received.ids.size(); ++k) {
+    const std::uint64_t expect =
+        k < retained.ids.size() ? retained.ids[k]
+                                : forwarded.ids[k - retained.ids.size()];
+    DLS_CHECK(received.ids[k] == expect,
+              "token split must partition the batch in order");
+  }
+  DLS_CHECK(authority.validate(received),
+            "every identifier in a split batch must have been issued");
+}
+
+}  // namespace dls::check

@@ -95,7 +95,7 @@ double Rng::normal(double mean, double stddev) {
 
 double Rng::exponential(double lambda) {
   DLS_REQUIRE(lambda > 0.0, "exponential requires lambda > 0");
-  double u;
+  double u = 0.0;
   do {
     u = uniform01();
   } while (u <= 0.0);

@@ -1,5 +1,6 @@
 #include "core/dls_lbl.hpp"
 
+#include "check/mechanism_invariants.hpp"
 #include "common/error.hpp"
 
 namespace dls::core {
@@ -74,6 +75,15 @@ void fill_assessments(const net::LinearNetwork& bid_network,
   }
   result.mechanism_cost =
       result.total_payment + result.processors[0].money.compensation;
+
+  // Debug/CI builds audit the payment decomposition (4.5)-(4.13). The
+  // embedded solution was already audited by the solver's own wiring at
+  // the same level, so skip the duplicate O(n) sweep.
+  if constexpr (check::enabled(2)) {
+    check::check_assessment(bid_network, result, config,
+                            check::kPaymentAuditTol,
+                            /*check_solution=*/false);
+  }
 }
 
 }  // namespace

@@ -50,7 +50,7 @@ PiecewiseLinear equalise_option(const PiecewiseLinear& next, double s,
   }
   // L(u) is increasing and, whenever the option is feasible at all,
   // reaches 1 within u in [u_lo, 1] (rhs(1) >= s implies l_of(1) >= 1).
-  double u_hi;
+  double u_hi = 1.0;
   {
     double a = u_lo, b = 1.0;
     if (l_of(1.0) <= 1.0) {

@@ -1,5 +1,6 @@
 #include "dlt/counterfactual.hpp"
 
+#include "check/solver_invariants.hpp"
 #include "common/error.hpp"
 
 namespace dls::dlt {
@@ -9,6 +10,12 @@ CounterfactualSolver::CounterfactualSolver(const net::LinearNetwork& network)
       z_(network.link_times().begin(), network.link_times().end()),
       ah_scratch_(network.size(), 0.0) {
   solve_linear_boundary_into(network, base_, /*want_steps=*/false);
+  // Debug/CI builds audit the bit-identity claim: rebidding each base
+  // rate must reproduce the base solution exactly (O(n^2), once per
+  // solver, so sweeps that share a solver pay it once).
+  if constexpr (check::enabled(2)) {
+    check::check_counterfactual_identity(*this);
+  }
 }
 
 CounterfactualSolver::Rebid CounterfactualSolver::rebid(std::size_t index,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "check/solver_invariants.hpp"
 #include "common/error.hpp"
 #include "common/tolerance.hpp"
 
@@ -60,6 +61,12 @@ void solve_linear_boundary_into(const net::LinearNetwork& network,
     remaining *= (1.0 - out.alpha_hat[i]);
   }
   out.makespan = out.equivalent_w[0];
+
+  // Debug/CI builds audit every solve against the Sect. 2 closed forms
+  // (Theorem 2.1 equal finish times, Σα = 1, the collapse equations).
+  if constexpr (check::enabled(2)) {
+    check::check_linear_solution(network, out);
+  }
 }
 
 LinearSolution solve_linear_boundary(const net::LinearNetwork& network) {

@@ -23,8 +23,8 @@ StarSolution solve_star_ordered(const net::StarNetwork& network,
   // participant 0 with no link cost.
   std::vector<double> shares;          // aligned with participants
   shares.reserve(m + 1);
-  double prev_share;
-  double prev_w;
+  double prev_share = 0.0;
+  double prev_w = 0.0;
   std::size_t first_worker = 0;
   double root_share = 0.0;
   if (network.root_computes()) {

@@ -1,5 +1,6 @@
 // Fault-tolerant execution of the DLS-LBL round: crash detection by
 // heartbeat/probe timeouts, survivor re-solve, and E_j settlement.
+#pragma once
 //
 // The paper polices *strategic* deviation; this layer extends the same
 // machinery to *fail-stop* faults. The key observation is that a crash
@@ -33,7 +34,6 @@
 // recompense E_j = (α̃_j − α_j)·w̃_j through the ordinary Phase IV
 // arithmetic; the crashed node is paid its verified partial work at its
 // metered rate and nothing else.
-#pragma once
 
 #include <cstdint>
 #include <optional>

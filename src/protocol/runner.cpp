@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "check/mechanism_invariants.hpp"
+#include "check/protocol_invariants.hpp"
 #include "common/error.hpp"
 #include "common/tolerance.hpp"
 #include "crypto/pki.hpp"
@@ -286,7 +288,14 @@ void phase3(Round& round) {
     if (i + 1 < n) {
       const std::size_t keep =
           std::min(authority.to_blocks(exec.computed[i]), pool.blocks());
+#if DLS_CHECK_LEVEL >= 2
+      // Token rule: retained + forwarded must partition the received
+      // batch in order, with every identifier genuinely issued.
+      const TokenBatch kept = pool.take_front(keep);
+      check::check_token_split(authority, lambda[i], kept, pool);
+#else
       pool.take_front(keep);  // retained blocks stay; the rest forwards
+#endif
     }
   }
 
@@ -522,12 +531,28 @@ RunReport run_protocol(const net::LinearNetwork& true_network,
     }
   }
 
+  // The phase tracker enforces the paper's message order: strictly
+  // forward through I -> II -> III -> IV, with the substantiated-
+  // grievance abort as the only legal shortcut.
+  check::PhaseOrderChecker phases;
   std::vector<SignedClaim> bid_claims;
-  if (phase1(round, bid_claims) && phase2(round, bid_claims)) {
-    phase3(round);
-    phase4(round);
+  phases.advance(check::ProtocolPhase::kBids);
+  if (phase1(round, bid_claims)) {
+    phases.advance(check::ProtocolPhase::kAllocation);
+    if (phase2(round, bid_claims)) {
+      phases.advance(check::ProtocolPhase::kExecution);
+      phase3(round);
+      phases.advance(check::ProtocolPhase::kSettlement);
+      phase4(round);
+    }
   }
+  phases.advance(check::ProtocolPhase::kDone);
   finalize(round);
+  // Money is conserved across every account including the treasury —
+  // fines, rewards and payments are all double-entry.
+  if constexpr (check::enabled(1)) {
+    check::check_ledger_conservation(round.report.ledger);
+  }
   return round.report;
 }
 

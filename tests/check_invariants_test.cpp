@@ -1,0 +1,342 @@
+// Property tests for the src/check contract layer: every checker must
+// accept genuine solver/mechanism output across randomized and
+// degenerate chains, and reject hand-corrupted copies of the same
+// output. The corruptions mirror realistic bug classes — a perturbed
+// allocation entry, a payment that drifted from its decomposition, a
+// reordered reduction trace, an illegal phase transition, a tampered
+// token batch.
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/contracts.hpp"
+#include "check/mechanism_invariants.hpp"
+#include "check/protocol_invariants.hpp"
+#include "check/solver_invariants.hpp"
+#include "common/rng.hpp"
+#include "core/dls_lbl.hpp"
+#include "dlt/counterfactual.hpp"
+#include "dlt/linear.hpp"
+#include "net/networks.hpp"
+#include "payment/ledger.hpp"
+#include "protocol/tokens.hpp"
+
+namespace dls {
+namespace {
+
+using check::ContractViolation;
+
+net::LinearNetwork random_chain(std::size_t workers, std::uint64_t seed,
+                                double w_lo = 0.1, double w_hi = 10.0,
+                                double z_lo = 0.05, double z_hi = 5.0) {
+  common::Rng rng(seed);
+  return net::LinearNetwork::random(workers + 1, rng, w_lo, w_hi, z_lo,
+                                    z_hi);
+}
+
+TEST(ContractMacros, CheckThrowsAndCounts) {
+  const std::size_t before = check::violation_count();
+  EXPECT_THROW(DLS_CHECK(1 + 1 == 3, "arithmetic broke"), ContractViolation);
+  EXPECT_EQ(check::violation_count(), before + 1);
+  EXPECT_NO_THROW(DLS_CHECK(true, "never fires"));
+  EXPECT_EQ(check::violation_count(), before + 1);
+}
+
+TEST(ContractMacros, ViolationIsADlsError) {
+  try {
+    DLS_CHECK(false, "context message");
+    FAIL() << "DLS_CHECK(false) must throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("context message"), std::string::npos);
+    EXPECT_NE(what.find("contract"), std::string::npos);
+  }
+}
+
+TEST(CheckLinearSolution, AcceptsRandomizedChains) {
+  for (std::size_t m = 1; m <= 64; ++m) {
+    const net::LinearNetwork network = random_chain(m, 1000 + m);
+    const dlt::LinearSolution sol = dlt::solve_linear_boundary(network);
+    EXPECT_NO_THROW(check::check_linear_solution(network, sol))
+        << "valid solution rejected at m = " << m;
+  }
+}
+
+TEST(CheckLinearSolution, AcceptsDegenerateChains) {
+  // Extreme-but-feasible corners: glacial links, near-free links, six
+  // decades of rate spread, and the two-processor minimum.
+  const std::vector<net::LinearNetwork> chains = {
+      random_chain(32, 7, 1e-4, 1e2, 1e2, 1e4),   // links dominate
+      random_chain(32, 8, 1e-3, 1e3, 1e-6, 1e-3), // links nearly free
+      random_chain(48, 9, 1e-3, 1e3, 1e-3, 1e3),  // six-decade spread
+      net::LinearNetwork({2.0, 3.0}, {1.0}),      // minimal chain
+      net::LinearNetwork::uniform(65, 1.0, 1.0),  // homogeneous, m = 64
+  };
+  for (const net::LinearNetwork& network : chains) {
+    const dlt::LinearSolution sol = dlt::solve_linear_boundary(network);
+    EXPECT_NO_THROW(check::check_linear_solution(network, sol));
+  }
+}
+
+TEST(CheckLinearSolution, RejectsCorruptedSolutions) {
+  for (std::size_t m : {1, 2, 5, 17, 64}) {
+    const net::LinearNetwork network = random_chain(m, 2000 + m);
+    const dlt::LinearSolution clean = dlt::solve_linear_boundary(network);
+    const std::size_t mid = network.size() / 2;
+
+    dlt::LinearSolution sol = clean;
+    sol.alpha[mid] += 1e-3;  // breaks Σα = 1 and the bookkeeping
+    EXPECT_THROW(check::check_linear_solution(network, sol),
+                 ContractViolation)
+        << "corrupted alpha accepted at m = " << m;
+
+    sol = clean;
+    sol.alpha_hat[mid] *= 1.01;  // breaks the collapse equation
+    EXPECT_THROW(check::check_linear_solution(network, sol),
+                 ContractViolation);
+
+    sol = clean;
+    sol.equivalent_w[0] *= 0.99;  // breaks w̄_0 = α̂_0 w_0 and makespan
+    EXPECT_THROW(check::check_linear_solution(network, sol),
+                 ContractViolation);
+
+    sol = clean;
+    sol.received[network.size() - 1] += 1e-3;  // breaks the D recursion
+    EXPECT_THROW(check::check_linear_solution(network, sol),
+                 ContractViolation);
+
+    sol = clean;
+    sol.makespan *= 1.001;  // finish times no longer meet the makespan
+    EXPECT_THROW(check::check_linear_solution(network, sol),
+                 ContractViolation);
+  }
+}
+
+TEST(CheckLinearSolution, RejectsTamperedReductionTrace) {
+  const net::LinearNetwork network = random_chain(8, 42);
+  const dlt::LinearSolution clean = dlt::solve_linear_boundary(network);
+  ASSERT_EQ(clean.steps.size(), network.size() - 1);
+
+  dlt::LinearSolution sol = clean;
+  std::swap(sol.steps.front(), sol.steps.back());  // out of order
+  EXPECT_THROW(check::check_linear_solution(network, sol),
+               ContractViolation);
+
+  sol = clean;
+  sol.steps[2].alpha_hat += 1e-6;  // disagrees with the arrays
+  EXPECT_THROW(check::check_linear_solution(network, sol),
+               ContractViolation);
+
+  sol = clean;
+  sol.steps.pop_back();  // wrong length
+  EXPECT_THROW(check::check_linear_solution(network, sol),
+               ContractViolation);
+}
+
+TEST(CheckCounterfactual, IdentityHoldsOnRandomizedChains) {
+  for (std::size_t m : {1, 3, 9, 33, 64}) {
+    const net::LinearNetwork network = random_chain(m, 3000 + m);
+    dlt::CounterfactualSolver solver(network);
+    EXPECT_NO_THROW(check::check_counterfactual_identity(solver));
+  }
+}
+
+core::DlsLblResult deviant_assessment(const net::LinearNetwork& bid_network,
+                                      const core::MechanismConfig& config,
+                                      std::uint64_t seed) {
+  // A population where some processors run slower than bid and some
+  // shed part of their assignment — the checker must accept the
+  // mechanism's verdict on deviants, not just the truthful fast path.
+  common::Rng rng(seed);
+  const std::size_t n = bid_network.size();
+  std::vector<double> actual(n);
+  actual[0] = bid_network.w(0);
+  for (std::size_t j = 1; j < n; ++j) {
+    actual[j] = bid_network.w(j) * (rng.bernoulli(0.3)
+                                        ? rng.uniform(1.0, 1.5)  // slower
+                                        : 1.0);                  // truthful
+  }
+  const dlt::LinearSolution sol = dlt::solve_linear_boundary(bid_network);
+  std::vector<double> computed = sol.alpha;
+  for (std::size_t j = 1; j < n; ++j) {
+    if (rng.bernoulli(0.2)) computed[j] *= rng.uniform(0.0, 1.0);  // sheds
+  }
+  return core::assess_dls_lbl(bid_network, actual, computed, config);
+}
+
+TEST(CheckAssessment, AcceptsCompliantAndDeviantRuns) {
+  core::MechanismConfig config;
+  for (std::size_t m = 1; m <= 64; m += 7) {
+    const net::LinearNetwork network = random_chain(m, 4000 + m);
+    const core::DlsLblResult compliant = core::assess_compliant(
+        network, network.processing_times(), config);
+    EXPECT_NO_THROW(check::check_assessment(network, compliant, config));
+    const core::DlsLblResult deviant =
+        deviant_assessment(network, config, 5000 + m);
+    EXPECT_NO_THROW(check::check_assessment(network, deviant, config));
+  }
+}
+
+TEST(CheckAssessment, AcceptsSolutionBonusVariant) {
+  core::MechanismConfig config;
+  config.solution_bonus_enabled = true;
+  config.solution_bonus = 0.02;
+  const net::LinearNetwork network = random_chain(6, 61);
+  const core::DlsLblResult result =
+      core::assess_compliant(network, network.processing_times(), config);
+  EXPECT_NO_THROW(check::check_assessment(network, result, config));
+}
+
+TEST(CheckAssessment, RejectsCorruptedPayments) {
+  core::MechanismConfig config;
+  for (std::size_t m : {1, 4, 16, 64}) {
+    const net::LinearNetwork network = random_chain(m, 6000 + m);
+    const core::DlsLblResult clean = core::assess_compliant(
+        network, network.processing_times(), config);
+    const std::size_t j = network.size() - 1;
+
+    core::DlsLblResult bad = clean;
+    bad.processors[j].money.payment += 0.01;  // Q no longer C + B + S
+    EXPECT_THROW(check::check_assessment(network, bad, config),
+                 ContractViolation)
+        << "corrupted payment accepted at m = " << m;
+
+    bad = clean;
+    bad.processors[j].money.bonus -= 0.01;  // (4.9) broken
+    EXPECT_THROW(check::check_assessment(network, bad, config),
+                 ContractViolation);
+
+    bad = clean;
+    bad.processors[j].money.compensation += 0.01;  // (4.7) broken
+    EXPECT_THROW(check::check_assessment(network, bad, config),
+                 ContractViolation);
+
+    bad = clean;
+    bad.processors[j].money.recompense = -0.5;  // E_j must be >= 0
+    EXPECT_THROW(check::check_assessment(network, bad, config),
+                 ContractViolation);
+
+    bad = clean;
+    bad.total_payment += 1.0;  // totals out of sync
+    EXPECT_THROW(check::check_assessment(network, bad, config),
+                 ContractViolation);
+
+    bad = clean;
+    bad.processors[0].money.utility = 0.25;  // root must net zero
+    EXPECT_THROW(check::check_assessment(network, bad, config),
+                 ContractViolation);
+  }
+}
+
+TEST(CheckAssessment, RejectsPayForNoWork) {
+  core::MechanismConfig config;
+  const net::LinearNetwork network = random_chain(5, 77);
+  const dlt::LinearSolution sol = dlt::solve_linear_boundary(network);
+  std::vector<double> computed = sol.alpha;
+  computed[3] = 0.0;  // P_3 computed nothing
+  core::DlsLblResult result = core::assess_dls_lbl(
+      network, network.processing_times(), computed, config);
+  ASSERT_EQ(result.processors[3].money.payment, 0.0);
+  EXPECT_NO_THROW(check::check_assessment(network, result, config));
+  result.processors[3].money.payment = 0.05;  // paid despite Q_j = 0 rule
+  EXPECT_THROW(check::check_assessment(network, result, config),
+               ContractViolation);
+}
+
+TEST(CheckLedger, AcceptsBalancedBooks) {
+  payment::Ledger ledger;
+  ledger.open_account(1);
+  ledger.open_account(2);
+  ledger.post({payment::kTreasury, 1, payment::TransferKind::kCompensation,
+               3.5, "Q_1"});
+  ledger.post({1, payment::kTreasury, payment::TransferKind::kFine, 1.25,
+               "phase III"});
+  ledger.post({payment::kTreasury, 2, payment::TransferKind::kReward, 1.25,
+               "reporter"});
+  EXPECT_NO_THROW(check::check_ledger_conservation(ledger));
+}
+
+TEST(PhaseOrder, AcceptsLegalRoundShapes) {
+  using check::ProtocolPhase;
+  {
+    check::PhaseOrderChecker full;
+    EXPECT_NO_THROW({
+      full.advance(ProtocolPhase::kBids);
+      full.advance(ProtocolPhase::kAllocation);
+      full.advance(ProtocolPhase::kExecution);
+      full.advance(ProtocolPhase::kSettlement);
+      full.advance(ProtocolPhase::kDone);
+    });
+  }
+  {
+    check::PhaseOrderChecker abort_in_bids;
+    abort_in_bids.advance(ProtocolPhase::kBids);
+    EXPECT_NO_THROW(abort_in_bids.advance(ProtocolPhase::kDone));
+  }
+  {
+    check::PhaseOrderChecker abort_in_alloc;
+    abort_in_alloc.advance(ProtocolPhase::kBids);
+    abort_in_alloc.advance(ProtocolPhase::kAllocation);
+    EXPECT_NO_THROW(abort_in_alloc.advance(ProtocolPhase::kDone));
+  }
+}
+
+TEST(PhaseOrder, RejectsIllegalTransitions) {
+  using check::ProtocolPhase;
+  {
+    check::PhaseOrderChecker skipper;
+    skipper.advance(ProtocolPhase::kBids);
+    EXPECT_THROW(skipper.advance(ProtocolPhase::kExecution),
+                 ContractViolation);  // skipped Phase II
+  }
+  {
+    check::PhaseOrderChecker rewinder;
+    rewinder.advance(ProtocolPhase::kBids);
+    rewinder.advance(ProtocolPhase::kAllocation);
+    EXPECT_THROW(rewinder.advance(ProtocolPhase::kBids),
+                 ContractViolation);  // phases never rewind
+  }
+  {
+    check::PhaseOrderChecker late_abort;
+    late_abort.advance(ProtocolPhase::kBids);
+    late_abort.advance(ProtocolPhase::kAllocation);
+    late_abort.advance(ProtocolPhase::kExecution);
+    EXPECT_THROW(late_abort.advance(ProtocolPhase::kDone),
+                 ContractViolation);  // Phase III cannot abort the round
+  }
+}
+
+TEST(TokenSplit, AcceptsLegalSplitsAndRejectsTampering) {
+  common::Rng rng(11);
+  protocol::TokenAuthority authority(256, rng);
+  const protocol::TokenBatch received = authority.issue_unit_load();
+
+  protocol::TokenBatch forwarded = received;
+  const protocol::TokenBatch retained = forwarded.take_front(100);
+  EXPECT_NO_THROW(
+      check::check_token_split(authority, received, retained, forwarded));
+
+  protocol::TokenBatch reordered = forwarded;
+  std::swap(reordered.ids.front(), reordered.ids.back());
+  EXPECT_THROW(
+      check::check_token_split(authority, received, retained, reordered),
+      ContractViolation);
+
+  protocol::TokenBatch dropped = forwarded;
+  dropped.ids.pop_back();  // a block vanished in transit
+  EXPECT_THROW(
+      check::check_token_split(authority, received, retained, dropped),
+      ContractViolation);
+
+  protocol::TokenBatch forged_received = received;
+  forged_received.ids.front() = ~forged_received.ids.front();
+  protocol::TokenBatch forged_retained = retained;
+  forged_retained.ids.front() = forged_received.ids.front();
+  EXPECT_THROW(check::check_token_split(authority, forged_received,
+                                        forged_retained, forwarded),
+               ContractViolation);  // identifier never issued
+}
+
+}  // namespace
+}  // namespace dls

@@ -114,7 +114,9 @@ TEST(ThreadPool, ThrowingBodyPropagatesAtEveryWorkerCount) {
           dls::Error);
       // Indices that did run wrote their own slot correctly.
       for (std::size_t i = 0; i < out.size(); ++i) {
-        if (i != 137 && out[i] != 0) EXPECT_EQ(out[i], static_cast<int>(i));
+        if (i != 137 && out[i] != 0) {
+          EXPECT_EQ(out[i], static_cast<int>(i));
+        }
       }
     }
     // The pool survives the exception: the next sweep runs to completion

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules that clang-tidy cannot express.
+
+Rules (library code = everything under src/):
+
+  pragma-once          every header under src/ must contain #pragma once
+                       near the top of the file.
+  seeded-rng-only      no rand()/srand()/time(nullptr)/std::random_device
+                       in src/ — experiments must be reproducible
+                       bit-for-bit, so all randomness flows through the
+                       seeded common::Rng streams.
+  no-stdout-in-library no std::cout/std::cerr/printf in src/ — library
+                       code reports through return values, exceptions
+                       and caller-provided std::ostream&; only
+                       examples/, bench/ and tools/ own a terminal.
+  no-using-namespace   no `using namespace std` anywhere (headers or
+                       sources) — it leaks into every includer.
+
+A finding can be waived for one line with a trailing comment naming the
+rule, e.g. `// lint:allow(no-stdout-in-library): CLI entry point`.
+The policy for adding waivers is documented in docs/STATIC_ANALYSIS.md.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".h"}
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z0-9-]+)\)")
+
+# Each content rule: (name, regex, message). Applied per line, with
+# string/comment contents left in place — the patterns are specific
+# enough that prose mentions (docs are not linted) do not trip them.
+CONTENT_RULES = [
+    (
+        "seeded-rng-only",
+        re.compile(r"\b(?:s?rand\s*\(|time\s*\(\s*(?:nullptr|NULL)\s*\)"
+                   r"|std::random_device)"),
+        "unseeded randomness; use the seeded common::Rng streams",
+    ),
+    (
+        "no-stdout-in-library",
+        re.compile(r"\bstd::c(?:out|err)\b|\b(?:f)?printf\s*\("),
+        "library code must not write to the terminal; take std::ostream&",
+    ),
+    (
+        "no-using-namespace",
+        re.compile(r"\busing\s+namespace\s+std\b"),
+        "`using namespace std` leaks into every includer",
+    ),
+]
+
+# Which rules apply outside src/ (library-only rules are scoped there).
+EVERYWHERE_RULES = {"no-using-namespace"}
+
+
+def iter_source_files(root: Path) -> list[Path]:
+    files: list[Path] = []
+    for top in ("src", "tests", "bench", "examples"):
+        base = root / top
+        if not base.is_dir():
+            continue
+        files.extend(
+            p for p in sorted(base.rglob("*"))
+            if p.suffix in SOURCE_SUFFIXES and p.is_file()
+        )
+    return files
+
+
+def lint_file(path: Path, root: Path) -> list[str]:
+    rel = path.relative_to(root)
+    in_library = rel.parts[0] == "src"
+    try:
+        text = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError:
+        return [f"{rel}:1: [encoding] file is not valid UTF-8"]
+
+    findings: list[str] = []
+    lines = text.splitlines()
+
+    if in_library and path.suffix in {".hpp", ".h"}:
+        head = lines[:30]
+        if not any(line.strip() == "#pragma once" for line in head):
+            findings.append(
+                f"{rel}:1: [pragma-once] header must start with "
+                "#pragma once (within the first 30 lines)"
+            )
+
+    for lineno, line in enumerate(lines, start=1):
+        waived = {m.group(1) for m in ALLOW_RE.finditer(line)}
+        for name, pattern, message in CONTENT_RULES:
+            if name not in EVERYWHERE_RULES and not in_library:
+                continue
+            if name in waived:
+                continue
+            if pattern.search(line):
+                findings.append(f"{rel}:{lineno}: [{name}] {message}")
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files to lint (default: all first-party sources)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.paths:
+        files = [p.resolve() for p in args.paths]
+        for p in files:
+            if not p.is_file():
+                print(f"lint_project: no such file: {p}", file=sys.stderr)
+                return 2
+    else:
+        files = iter_source_files(REPO_ROOT)
+
+    findings: list[str] = []
+    for path in files:
+        findings.extend(lint_file(path, REPO_ROOT))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(
+            f"lint_project: {len(findings)} finding(s) in "
+            f"{len(files)} files",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"lint_project: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

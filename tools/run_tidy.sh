@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy) over every first-party
+# translation unit, against a compile-commands database it configures on
+# demand. Usage:
+#
+#   tools/run_tidy.sh [--if-available] [--fix] [path ...]
+#
+#   --if-available  exit 0 (with a notice) when clang-tidy is not
+#                   installed, instead of the default exit 2 — for
+#                   developer machines without the LLVM toolchain; CI
+#                   always installs it and uses the strict default.
+#   --fix           apply clang-tidy's suggested fixits in place.
+#   path ...        restrict the run to the given files (default: all
+#                   .cpp files under src/, tests/, bench/, examples/).
+#
+# Exit status: 0 clean, 1 findings, 2 missing toolchain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY=${CLANG_TIDY:-clang-tidy}
+BUILD_DIR=${TIDY_BUILD_DIR:-build-tidy}
+JOBS=${TIDY_JOBS:-$(nproc)}
+
+if_available=0
+fix_args=()
+paths=()
+for arg in "$@"; do
+  case "$arg" in
+    --if-available) if_available=1 ;;
+    --fix) fix_args+=(--fix --fix-errors) ;;
+    *) paths+=("$arg") ;;
+  esac
+done
+
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_tidy: '$TIDY' not found. Install clang-tidy (apt: clang-tidy)" >&2
+  echo "run_tidy: or point CLANG_TIDY at the binary." >&2
+  if [[ $if_available -eq 1 ]]; then
+    echo "run_tidy: --if-available set; skipping." >&2
+    exit 0
+  fi
+  exit 2
+fi
+
+# The project always exports compile commands; configure only when the
+# database is missing or stale relative to the CMake lists.
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Debug >/dev/null
+fi
+
+if [[ ${#paths[@]} -eq 0 ]]; then
+  mapfile -t paths < <(git ls-files \
+    'src/**/*.cpp' 'tests/*.cpp' 'bench/*.cpp' 'examples/*.cpp')
+fi
+
+echo "run_tidy: $(${TIDY} --version | head -1)"
+echo "run_tidy: ${#paths[@]} translation units, ${JOBS} jobs"
+
+status=0
+printf '%s\n' "${paths[@]}" |
+  xargs -P "$JOBS" -n 4 "$TIDY" -p "$BUILD_DIR" --quiet \
+    ${fix_args[@]+"${fix_args[@]}"} || status=1
+
+if [[ $status -ne 0 ]]; then
+  echo "run_tidy: findings above must be fixed (or NOLINT'd with a reason)." >&2
+fi
+exit $status
