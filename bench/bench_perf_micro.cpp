@@ -12,7 +12,9 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <iostream>
 #include <new>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -30,6 +32,8 @@
 #include "exec/thread_pool.hpp"
 #include "net/networks.hpp"
 #include "net/tree.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_export.hpp"
 #include "protocol/runner.hpp"
 #include "sim/linear_execution.hpp"
 #include "sim/simulator.hpp"
@@ -392,4 +396,36 @@ BENCHMARK(bm_full_protocol_round)->Arg(4)->Arg(16)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): honours --trace-out=FILE (or
+// the DLS_TRACE_OUT environment variable) by collecting an execution
+// trace across the whole run and writing Chrome trace JSON on exit.
+int main(int argc, char** argv) {
+  std::string trace_out;
+  if (const char* env = std::getenv("DLS_TRACE_OUT")) trace_out = env;
+  std::vector<char*> args(argv, argv + argc);
+  for (auto it = args.begin(); it != args.end();) {
+    const std::string arg = *it;
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(sizeof("--trace-out=") - 1);
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  if (!trace_out.empty()) dls::obs::set_active(true);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!trace_out.empty()) {
+    dls::obs::set_active(false);
+    if (!dls::obs::export_chrome_trace_file(trace_out)) {
+      std::cerr << "error: cannot write trace to " << trace_out << '\n';
+      return 1;
+    }
+  }
+  return 0;
+}

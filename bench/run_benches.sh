@@ -25,7 +25,21 @@ if [[ ! -x "$bench_bin" ]]; then
   exit 1
 fi
 
-exec "$bench_bin" \
+# Optional trace archiving: set TRACE_OUT=/path/trace.json to collect a
+# Chrome trace of the whole bench run alongside the JSON report (the
+# bench binary's custom main handles --trace-out).
+trace_args=()
+if [[ -n "${TRACE_OUT:-}" ]]; then
+  mkdir -p "$(dirname "$TRACE_OUT")"
+  trace_args+=("--trace-out=$TRACE_OUT")
+fi
+
+"$bench_bin" \
   --benchmark_out="$out_json" \
   --benchmark_out_format=json \
+  ${trace_args[@]+"${trace_args[@]}"} \
   "$@"
+
+if [[ -n "${TRACE_OUT:-}" ]]; then
+  echo "trace archived at $TRACE_OUT"
+fi

@@ -11,8 +11,15 @@
 //   --gantt         render the execution Gantt chart
 //   --csv           emit the schedule as CSV instead of a table
 //   --no-payments   skip the mechanism payment report
+//   --trace-out F   collect an execution trace and write Chrome trace
+//                   JSON to F (open in chrome://tracing or Perfetto)
+//   --trace-logical-clock
+//                   timestamp trace events with a deterministic logical
+//                   tick counter instead of the wall clock
+//   --trace-summary print a human-readable span/metric summary
 //
 // Exit status: 0 on success, 2 on bad usage, 1 on infeasible input.
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -24,6 +31,8 @@
 #include "dlt/affine.hpp"
 #include "dlt/linear.hpp"
 #include "net/networks.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_export.hpp"
 #include "sim/gantt.hpp"
 #include "sim/linear_execution.hpp"
 
@@ -42,7 +51,8 @@ std::vector<double> parse_list(const std::string& text) {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --w W0,W1,... --z Z1,Z2,... [--startup S0,S1,...]"
-               " [--gantt] [--csv] [--no-payments]\n";
+               " [--gantt] [--csv] [--no-payments] [--trace-out FILE]"
+               " [--trace-logical-clock] [--trace-summary]\n";
   return 2;
 }
 
@@ -51,6 +61,8 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::vector<double> w, z, startup;
   bool want_gantt = false, want_csv = false, want_payments = true;
+  bool logical_clock = false, trace_summary = false;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -58,7 +70,17 @@ int main(int argc, char** argv) {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     try {
-      if (arg == "--w") {
+      if (arg.rfind("--trace-out=", 0) == 0) {
+        trace_out = arg.substr(sizeof("--trace-out=") - 1);
+      } else if (arg == "--trace-out") {
+        const char* v = next();
+        if (!v) return usage(argv[0]);
+        trace_out = v;
+      } else if (arg == "--trace-logical-clock") {
+        logical_clock = true;
+      } else if (arg == "--trace-summary") {
+        trace_summary = true;
+      } else if (arg == "--w") {
         const char* v = next();
         if (!v) return usage(argv[0]);
         w = parse_list(v);
@@ -88,6 +110,12 @@ int main(int argc, char** argv) {
   if (w.empty() || z.size() + 1 != w.size()) {
     std::cerr << "need --w with n entries and --z with n-1 entries\n";
     return usage(argv[0]);
+  }
+
+  const bool tracing = !trace_out.empty() || trace_summary;
+  if (tracing) {
+    if (logical_clock) dls::obs::use_logical_clock();
+    dls::obs::set_active(true);
   }
 
   try {
@@ -153,6 +181,29 @@ int main(int argc, char** argv) {
   } catch (const dls::Error& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
+  }
+
+  if (tracing) {
+    dls::obs::set_active(false);
+    if (trace_summary) {
+      // Summary and file export share one drain, so peel events once.
+      const auto events = dls::obs::TraceSink::global().drain();
+      const auto metrics = dls::obs::MetricsRegistry::global().snapshot();
+      std::cout << '\n';
+      dls::obs::dump_summary(std::cout, events, metrics);
+      if (!trace_out.empty()) {
+        std::ofstream out(trace_out);
+        if (!out) {
+          std::cerr << "error: cannot write trace to " << trace_out << '\n';
+          return 1;
+        }
+        dls::obs::write_chrome_trace(out, events, &metrics);
+      }
+    } else if (!trace_out.empty() &&
+               !dls::obs::export_chrome_trace_file(trace_out)) {
+      std::cerr << "error: cannot write trace to " << trace_out << '\n';
+      return 1;
+    }
   }
   return 0;
 }

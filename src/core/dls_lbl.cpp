@@ -2,6 +2,7 @@
 
 #include "check/mechanism_invariants.hpp"
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace dls::core {
 
@@ -21,6 +22,8 @@ void fill_assessments(const net::LinearNetwork& bid_network,
   DLS_REQUIRE(actual_rates.size() == n, "actual_rates size mismatch");
   DLS_REQUIRE(computed_loads.empty() || computed_loads.size() == n,
               "computed_loads size mismatch");
+  DLS_SPAN_ARGS("payment.assess", "{\"m\":" + std::to_string(n - 1) + "}");
+  DLS_COUNT("mechanism.assessments");
 
   const dlt::LinearSolution& sol = result.solution;
   if (computed_loads.empty()) computed_loads = sol.alpha;
@@ -47,6 +50,7 @@ void fill_assessments(const net::LinearNetwork& bid_network,
   }
 
   for (std::size_t j = 1; j < n; ++j) {
+    DLS_SPAN_DETAIL("payment.evaluate");
     Assessment& a = result.processors[j];
     a.index = j;
     a.bid_rate = bid_network.w(j);
@@ -70,6 +74,19 @@ void fill_assessments(const net::LinearNetwork& bid_network,
     in.w_hat = a.w_hat;
     in.solution_found = solution_found;
     a.money = evaluate_payment(in, config);
+
+    // Term-level metrics live here, on real mechanism runs — NOT in
+    // evaluate_payment, which is shared with the ns-scale counterfactual
+    // rebid path.
+    DLS_OBSERVE("mechanism.bonus_paid", a.money.bonus,
+                {0.0, 0.01, 0.1, 0.5, 1.0, 5.0});
+    DLS_OBSERVE("mechanism.compensation_paid", a.money.compensation,
+                {0.0, 0.01, 0.1, 0.5, 1.0, 5.0});
+    DLS_OBSERVE("mechanism.recompense_paid", a.money.recompense,
+                {0.0, 0.01, 0.1, 0.5, 1.0, 5.0});
+    if (a.money.solution_bonus > 0.0) {
+      DLS_COUNT("mechanism.solution_bonus_paid");
+    }
 
     result.total_payment += a.money.payment;
   }

@@ -2,6 +2,7 @@
 
 #include "check/solver_invariants.hpp"
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace dls::dlt {
 
@@ -23,6 +24,10 @@ CounterfactualSolver::Rebid CounterfactualSolver::rebid(std::size_t index,
   const std::size_t n = w_.size();
   DLS_REQUIRE(index < n, "processor index out of range");
   DLS_REQUIRE(bid > 0.0, "bid must be positive");
+  // rebid() is the counterfactual hot path (ns-scale); only the detail
+  // level pays for a span here, the counter is one relaxed fetch_add.
+  DLS_SPAN_DETAIL("solve.rebid");
+  DLS_COUNT("solver.rebids");
 
   Rebid r;
   r.index = index;
@@ -34,7 +39,8 @@ CounterfactualSolver::Rebid CounterfactualSolver::rebid(std::size_t index,
     r.alpha_hat = 1.0;
     r.equivalent_w = bid;
   } else {
-    r.alpha_hat = pair_alpha_hat(bid, z(index + 1), base_.equivalent_w[index + 1]);
+    r.alpha_hat =
+        pair_alpha_hat(bid, z(index + 1), base_.equivalent_w[index + 1]);
     r.equivalent_w = r.alpha_hat * bid;  // eq. (2.4)
   }
   ah_scratch_[index] = r.alpha_hat;

@@ -7,6 +7,7 @@
 #include "check/solver_invariants.hpp"
 #include "common/error.hpp"
 #include "common/tolerance.hpp"
+#include "obs/obs.hpp"
 
 namespace dls::dlt {
 
@@ -31,6 +32,8 @@ double pair_realized_w(double alpha_hat, double w_front, double z,
 void solve_linear_boundary_into(const net::LinearNetwork& network,
                                 LinearSolution& out, bool want_steps) {
   const std::size_t n = network.size();
+  DLS_SPAN_ARGS("solve.reduce", "{\"m\":" + std::to_string(n) + "}");
+  DLS_COUNT("solver.solves");
   out.alpha.assign(n, 0.0);
   out.alpha_hat.assign(n, 0.0);
   out.equivalent_w.assign(n, 0.0);
@@ -42,6 +45,7 @@ void solve_linear_boundary_into(const net::LinearNetwork& network,
   out.equivalent_w[n - 1] = network.w(n - 1);
   if (want_steps) out.steps.reserve(n - 1);
   for (std::size_t i = n - 1; i-- > 0;) {
+    DLS_SPAN_DETAIL("solve.reduce.step");
     const double tail_w = out.equivalent_w[i + 1];
     const double link_z = network.z(i + 1);
     const double ah = pair_alpha_hat(network.w(i), link_z, tail_w);

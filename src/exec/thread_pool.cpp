@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace dls::exec {
 
@@ -74,6 +75,14 @@ void ThreadPool::parallel_for_chunks(
   std::size_t grain = options.grain;
   if (grain == 0) grain = std::max<std::size_t>(1, count / (parallelism * 4));
   const std::size_t chunk_count = (count + grain - 1) / grain;
+
+  DLS_SPAN_ARGS("exec.dispatch",
+                "{\"count\":" + std::to_string(count) +
+                    ",\"chunks\":" + std::to_string(chunk_count) + "}");
+  DLS_COUNT("exec.dispatches");
+  DLS_COUNT("exec.chunks", chunk_count);
+  DLS_OBSERVE("exec.queue_depth", static_cast<double>(chunk_count),
+              {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0});
 
   const std::scoped_lock submit(submit_mutex_);
   auto job = std::make_shared<Job>();
@@ -150,6 +159,10 @@ void ThreadPool::run_chunks(Job& job, std::size_t self) {
       run = !job.cancelled;
     }
     if (run) {
+      // Scoped so the event is recorded before the chunks_remaining
+      // decrement below — the caller's post-join drain then observes it
+      // via the same state_mutex release.
+      DLS_SPAN_DETAIL("exec.chunk");
       try {
         (*job.body)(chunk.begin, chunk.end);
       } catch (...) {
@@ -187,6 +200,7 @@ bool ThreadPool::pop_or_steal(Job& job, std::size_t self, Chunk& out) {
     if (!job.deques[victim].empty()) {
       out = job.deques[victim].front();
       job.deques[victim].pop_front();
+      DLS_COUNT("exec.steals");
       return true;
     }
   }

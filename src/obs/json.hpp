@@ -1,0 +1,56 @@
+// Internal JSON formatting helpers shared by the metrics and trace
+// exporters. Deliberately tiny: the exporters only ever *write* JSON,
+// and determinism matters more than generality (goldens are diffed
+// byte-for-byte).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace dls::obs::internal {
+
+/// Shortest round-trippable rendering; stable across platforms for the
+/// value ranges traces produce.
+inline std::string json_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Fixed-precision microsecond timestamps for Chrome traces.
+inline std::string json_micros(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+inline void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+inline std::string json_string(std::string_view s) {
+  std::string out;
+  append_json_string(out, s);
+  return out;
+}
+
+}  // namespace dls::obs::internal

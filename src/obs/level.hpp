@@ -1,0 +1,37 @@
+// Compile-time observability level.
+//
+//   DLS_OBS_LEVEL=0  every DLS_SPAN / metric helper compiles to nothing;
+//                    the binary carries no instrumentation at all.
+//   DLS_OBS_LEVEL=1  coarse spans and the metric registry: per-solve,
+//                    per-phase, per-dispatch instrumentation.
+//   DLS_OBS_LEVEL=2  adds detail spans (per-reduction-step, per-payment
+//                    evaluation, per-pool-chunk).
+//
+// Orthogonally to the compile-time level, instrumentation is inert at
+// runtime until obs::set_active(true): a disabled site costs one relaxed
+// atomic load, so default builds keep the level compiled in without
+// perturbing benchmarks.
+#pragma once
+
+#ifndef DLS_OBS_LEVEL
+#ifdef NDEBUG
+#define DLS_OBS_LEVEL 1
+#else
+#define DLS_OBS_LEVEL 2
+#endif
+#endif
+
+#if DLS_OBS_LEVEL < 0 || DLS_OBS_LEVEL > 2
+#error "DLS_OBS_LEVEL must be 0, 1 or 2"
+#endif
+
+#define DLS_OBS_CONCAT_IMPL(a, b) a##b
+#define DLS_OBS_CONCAT(a, b) DLS_OBS_CONCAT_IMPL(a, b)
+
+namespace dls::obs {
+
+/// True when instrumentation gated at `level` is compiled in. Use with
+/// `if constexpr` so the disabled branch costs nothing.
+constexpr bool compiled(int level) noexcept { return DLS_OBS_LEVEL >= level; }
+
+}  // namespace dls::obs

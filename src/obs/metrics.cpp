@@ -1,0 +1,153 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace dls::obs {
+
+using internal::append_json_string;
+using internal::json_double;
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  DLS_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+              "histogram bucket edges must be ascending");
+}
+
+void Histogram::observe(double x) noexcept {
+  if (!active()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // overflow = last
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> bounds) {
+  const std::scoped_lock lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::vector<double>(
+                          bounds.begin(), bounds.end())))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.bounds = histogram->bounds();
+    h.counts = histogram->bucket_counts();
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    snap.histograms.emplace(name, std::move(h));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->reset();
+  for (const auto& [name, gauge] : gauges_) gauge->reset();
+  for (const auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    out += json_double(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i != 0) out += ',';
+      out += json_double(h.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(h.counts[i]);
+    }
+    out += "],\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + json_double(h.sum);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace dls::obs

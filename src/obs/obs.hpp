@@ -1,0 +1,10 @@
+// Umbrella header for instrumented layers: spans, metrics, clock and
+// the runtime switch in one include. Exporters (trace_export.hpp) are
+// separate — only trace consumers need them.
+#pragma once
+
+#include "obs/clock.hpp"
+#include "obs/level.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/span.hpp"

@@ -1,0 +1,133 @@
+#include "obs/sink.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dls::obs {
+
+namespace {
+
+/// Events buffered per thread before a chunk is sealed and pushed onto
+/// the lock-free stack.
+constexpr std::size_t kFlushThreshold = 256;
+
+/// Unique ids distinguish sink instances even across address reuse, so
+/// the thread-local slot cache can never match a stale sink.
+std::atomic<std::uint64_t> g_next_sink_id{1};
+
+}  // namespace
+
+TraceSink::TraceSink()
+    : id_(g_next_sink_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+TraceSink& TraceSink::global() {
+  static TraceSink sink;
+  return sink;
+}
+
+TraceSink::~TraceSink() {
+  Chunk* chunk = chunks_.exchange(nullptr, std::memory_order_acquire);
+  while (chunk != nullptr) {
+    Chunk* next = chunk->next;
+    delete chunk;
+    chunk = next;
+  }
+}
+
+TraceSink::ThreadBuffer& TraceSink::local_buffer() {
+  struct Slot {
+    std::uint64_t owner_id = 0;
+    std::shared_ptr<ThreadBuffer> buffer;
+  };
+  // One entry per sink this thread has emitted into; almost always just
+  // the global sink, so the linear scan is one comparison.
+  thread_local std::vector<Slot> slots;
+  for (Slot& slot : slots) {
+    if (slot.owner_id == id_) return *slot.buffer;
+  }
+
+  auto buffer = std::make_shared<ThreadBuffer>();
+  {
+    const std::scoped_lock lock(registry_mutex_);
+    buffer->index = next_thread_index_++;
+    buffers_.push_back(buffer);
+  }
+  slots.push_back(Slot{id_, buffer});
+  return *slots.back().buffer;
+}
+
+void TraceSink::record(SpanEvent event) {
+  ThreadBuffer& buffer = local_buffer();
+  std::vector<SpanEvent> sealed;
+  {
+    const std::scoped_lock lock(buffer.mutex);
+    // Runtime spans get the emitting thread's lane; simulation-track
+    // events keep the caller's lane (the simulated processor index).
+    if (event.track == Track::kRuntime) event.thread = buffer.index;
+    event.seq = buffer.next_seq++;
+    buffer.events.push_back(std::move(event));
+    if (buffer.events.size() >= kFlushThreshold) {
+      sealed = std::move(buffer.events);
+      buffer.events = {};
+      buffer.events.reserve(kFlushThreshold);
+    }
+  }
+  if (!sealed.empty()) push_chunk(std::move(sealed));
+}
+
+void TraceSink::push_chunk(std::vector<SpanEvent> events) {
+  auto* chunk = new Chunk{std::move(events), nullptr};
+  Chunk* head = chunks_.load(std::memory_order_relaxed);
+  do {
+    chunk->next = head;
+  } while (!chunks_.compare_exchange_weak(head, chunk,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed));
+}
+
+std::vector<SpanEvent> TraceSink::drain() {
+  std::vector<SpanEvent> out;
+
+  // The sealed chunks: one atomic exchange detaches the whole stack.
+  Chunk* chunk = chunks_.exchange(nullptr, std::memory_order_acquire);
+  while (chunk != nullptr) {
+    out.insert(out.end(), std::make_move_iterator(chunk->events.begin()),
+               std::make_move_iterator(chunk->events.end()));
+    Chunk* next = chunk->next;
+    delete chunk;
+    chunk = next;
+  }
+
+  // Residuals still sitting in per-thread buffers.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::scoped_lock lock(registry_mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    const std::scoped_lock lock(buffer->mutex);
+    out.insert(out.end(), std::make_move_iterator(buffer->events.begin()),
+               std::make_move_iterator(buffer->events.end()));
+    buffer->events.clear();
+    // Each drain starts a fresh sequence space, so two identical runs
+    // separated by a drain produce identical event lists.
+    buffer->next_seq = 0;
+  }
+
+  // Canonical order: the chunk stack is LIFO and threads interleave, so
+  // re-sort by (track, thread, seq) — a total order, since seq is
+  // unique per thread.
+  std::sort(out.begin(), out.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.track != b.track) return a.track < b.track;
+              if (a.thread != b.thread) return a.thread < b.thread;
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void set_active(bool active) noexcept {
+  TraceSink::global().set_active(active);
+}
+
+}  // namespace dls::obs

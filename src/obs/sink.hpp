@@ -1,0 +1,116 @@
+// The global trace sink: where every finished span ends up.
+//
+// Producers append to a thread-local buffer (guarded by a per-thread
+// mutex that is only ever contended by a drain); full buffers are sealed
+// into chunks and pushed onto a lock-free Treiber stack shared by all
+// threads, so steady-state emission never takes a global lock. drain()
+// collects the chunk stack with one atomic exchange, then steals each
+// registered thread's residual buffer.
+//
+// Determinism: events carry a per-thread sequence number and the sink
+// assigns stable small thread indices in registration order, so a
+// single-threaded run drains an identical event list every time (with
+// the logical clock installed, timestamps included).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dls::obs {
+
+/// Which Chrome-trace "process" lane an event renders in.
+enum class Track : std::uint8_t {
+  kRuntime = 0,     ///< real threads doing real work (solver, protocol, pool)
+  kSimulation = 1,  ///< simulated Phase III activity (sim::Trace bridge)
+};
+
+/// One completed span. `name` must point at a string literal (every
+/// emitter uses compile-time names); `args` is an optional JSON object
+/// fragment, e.g. R"({"m":3})".
+struct SpanEvent {
+  const char* name = "";
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t seq = 0;     ///< per-thread emission index
+  std::uint32_t thread = 0;  ///< sink-assigned stable thread index
+  std::uint32_t depth = 0;   ///< nesting depth at emission (0 = top level)
+  Track track = Track::kRuntime;
+  std::string args;
+};
+
+class TraceSink {
+ public:
+  /// The process-wide sink every DLS_SPAN writes to.
+  static TraceSink& global();
+
+  TraceSink();
+  ~TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Master runtime switch for *all* instrumentation (spans and
+  /// metrics). Off by default so instrumented release builds stay at
+  /// one relaxed load per site.
+  void set_active(bool active) noexcept {
+    active_.store(active, std::memory_order_relaxed);
+  }
+  bool active() const noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends a finished span from the calling thread. Thread-safe.
+  void record(SpanEvent event);
+
+  /// Collects and clears everything recorded so far, ordered by
+  /// (track, thread, seq). Callers must ensure no other thread is
+  /// emitting concurrently if they need a *complete* drain (the usual
+  /// quiescent points — after a parallel_for barrier, after a protocol
+  /// run — provide the necessary happens-before edges).
+  std::vector<SpanEvent> drain();
+
+  /// drain() with the result thrown away.
+  void clear() { static_cast<void>(drain()); }
+
+ private:
+  struct Chunk {
+    std::vector<SpanEvent> events;
+    Chunk* next = nullptr;
+  };
+
+  /// One producer thread's buffer. The mutex is uncontended except when
+  /// a drain steals the residual.
+  struct ThreadBuffer {
+    std::mutex mutex;
+    std::vector<SpanEvent> events;
+    std::uint32_t index = 0;
+    std::uint64_t next_seq = 0;
+  };
+
+  ThreadBuffer& local_buffer();
+  void push_chunk(std::vector<SpanEvent> events);
+
+  /// Unique per instance; lets the thread-local buffer cache distinguish
+  /// sinks even if a destroyed sink's address is reused.
+  const std::uint64_t id_;
+
+  std::atomic<bool> active_{false};
+  std::atomic<Chunk*> chunks_{nullptr};
+
+  std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::uint32_t next_thread_index_ = 0;
+};
+
+/// True when instrumentation should fire right now: compiled in (caller
+/// checks the level) and runtime-enabled on the global sink.
+inline bool active() noexcept { return TraceSink::global().active(); }
+
+/// Flips the global master switch.
+void set_active(bool active) noexcept;
+
+}  // namespace dls::obs

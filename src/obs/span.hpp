@@ -1,0 +1,120 @@
+// RAII tracing spans and the DLS_SPAN macros.
+//
+//   void phase1(...) {
+//     DLS_SPAN("protocol.phase1");           // coarse (level >= 1)
+//     ...
+//   }
+//   for (...) {
+//     DLS_SPAN_DETAIL("solve.reduce.step");  // detail (level >= 2)
+//   }
+//
+// A span stamps start on construction and records a SpanEvent into the
+// global sink on destruction. Construction checks obs::active() first:
+// when tracing is off the whole span is one relaxed atomic load, and at
+// DLS_OBS_LEVEL=0 the macros expand to nothing at all.
+//
+// Nesting is tracked per thread; the recorded depth plus the timestamps
+// give Chrome/Perfetto correctly nested flame graphs.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "obs/clock.hpp"
+#include "obs/level.hpp"
+#include "obs/sink.hpp"
+
+namespace dls::obs {
+
+namespace internal {
+/// Current span nesting depth of this thread.
+inline thread_local std::uint32_t t_span_depth = 0;
+}  // namespace internal
+
+class Span {
+ public:
+  /// `name` must be a string literal (it is stored by pointer).
+  explicit Span(const char* name) : Span(name, std::string()) {}
+
+  /// `args` is a JSON object fragment, e.g. R"({"m":3})"; it is only
+  /// worth building when obs::active() — pass through note() for values
+  /// that are expensive to format.
+  Span(const char* name, std::string args) {
+    if (!active()) return;
+    live_ = true;
+    name_ = name;
+    args_ = std::move(args);
+    depth_ = internal::t_span_depth++;
+    start_ = now_ns();
+  }
+
+  ~Span() {
+    if (!live_) return;
+    const std::uint64_t end = now_ns();
+    --internal::t_span_depth;
+    TraceSink::global().record(SpanEvent{.name = name_,
+                                         .start_ns = start_,
+                                         .end_ns = end,
+                                         .depth = depth_,
+                                         .track = Track::kRuntime,
+                                         .args = std::move(args_)});
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches (or replaces) the args payload after construction; no-op
+  /// when the span is inert, so formatting can be guarded by live().
+  void note(std::string args) {
+    if (live_) args_ = std::move(args);
+  }
+  bool live() const noexcept { return live_; }
+
+ private:
+  bool live_ = false;
+  const char* name_ = "";
+  std::uint64_t start_ = 0;
+  std::uint32_t depth_ = 0;
+  std::string args_;
+};
+
+/// Records an already-timed span (bridges: simulated activity, replayed
+/// logs). Timestamps are the caller's; track/lane are explicit. For
+/// Track::kSimulation the `thread` is kept as the event's lane (e.g. the
+/// simulated processor index); for Track::kRuntime the sink replaces it
+/// with the emitting thread's lane.
+inline void record_span(const char* name, std::uint64_t start_ns,
+                        std::uint64_t end_ns, Track track,
+                        std::uint32_t thread = 0, std::string args = {}) {
+  if (!active()) return;
+  TraceSink::global().record(SpanEvent{.name = name,
+                                       .start_ns = start_ns,
+                                       .end_ns = end_ns,
+                                       .thread = thread,
+                                       .track = track,
+                                       .args = std::move(args)});
+}
+
+}  // namespace dls::obs
+
+#if DLS_OBS_LEVEL >= 1
+#define DLS_SPAN(name) \
+  const ::dls::obs::Span DLS_OBS_CONCAT(dls_obs_span_, __LINE__)(name)
+/// Args flavour: the args expression is only evaluated when collection
+/// is active, so formatting costs nothing on the disabled path.
+#define DLS_SPAN_ARGS(name, ...)                           \
+  const ::dls::obs::Span DLS_OBS_CONCAT(dls_obs_span_,     \
+                                        __LINE__)(         \
+      name, ::dls::obs::active() ? std::string(__VA_ARGS__) \
+                                 : std::string())
+#else
+#define DLS_SPAN(...) static_cast<void>(0)
+#define DLS_SPAN_ARGS(...) static_cast<void>(0)
+#endif
+
+#if DLS_OBS_LEVEL >= 2
+#define DLS_SPAN_DETAIL(name) \
+  const ::dls::obs::Span DLS_OBS_CONCAT(dls_obs_span_, __LINE__)(name)
+#else
+#define DLS_SPAN_DETAIL(...) static_cast<void>(0)
+#endif

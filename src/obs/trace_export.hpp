@@ -1,0 +1,37 @@
+// Exporters for drained trace events and metric snapshots.
+//
+//   * write_chrome_trace — the Chrome trace-event JSON format; load the
+//     file in chrome://tracing or https://ui.perfetto.dev. Runtime spans
+//     render under pid 0 ("runtime", one tid per emitting thread) and
+//     bridged simulation activity under pid 1 ("simulation", one tid per
+//     simulated processor). Metric totals ride along in "otherData".
+//   * write_jsonl — one flat JSON object per line, for grep/jq pipelines.
+//   * dump_summary — a human table: per-span-name count/total/mean/max
+//     plus every counter, gauge and histogram.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+
+namespace dls::obs {
+
+/// Events should come straight from TraceSink::drain() (canonically
+/// ordered); `metrics` is optional.
+void write_chrome_trace(std::ostream& out, std::span<const SpanEvent> events,
+                        const MetricsSnapshot* metrics = nullptr);
+
+void write_jsonl(std::ostream& out, std::span<const SpanEvent> events);
+
+void dump_summary(std::ostream& out, std::span<const SpanEvent> events,
+                  const MetricsSnapshot& metrics);
+
+/// One-stop shutdown flush: drains the global sink, snapshots the global
+/// metrics registry and writes a Chrome trace to `path`. Returns false
+/// (leaving the drained state consumed) if the file cannot be opened.
+bool export_chrome_trace_file(const std::string& path);
+
+}  // namespace dls::obs

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "core/dls_lbl.hpp"
 #include "crypto/pki.hpp"
+#include "obs/obs.hpp"
 #include "protocol/meter.hpp"
 #include "sim/simulator.hpp"
 
@@ -132,6 +133,7 @@ DetectionReport monitor_processor(const HeartbeatConfig& config,
   DLS_REQUIRE(config.retry_budget >= 1, "retry budget must be >= 1");
   DLS_REQUIRE(loss_probability >= 0.0 && loss_probability < 1.0,
               "loss probability must lie in [0, 1)");
+  DLS_SPAN("recovery.monitor");
 
   Monitor monitor;
   monitor.cfg = config;
@@ -158,6 +160,10 @@ DetectionReport monitor_processor(const HeartbeatConfig& config,
 
   if (monitor.report.confirmed_dead && !crash_time) {
     monitor.report.false_alarm = true;
+  }
+  DLS_COUNT("recovery.probes", monitor.report.probes_sent);
+  if (monitor.report.confirmed_dead) {
+    DLS_COUNT("recovery.crashes_confirmed");
   }
   return monitor.report;
 }
@@ -186,6 +192,7 @@ FtRunReport run_protocol_ft(const net::LinearNetwork& true_network,
               "population must cover every non-root processor");
   DLS_REQUIRE(!ft.faults.crash_of(0),
               "the root is trusted infrastructure and cannot crash");
+  DLS_SPAN_ARGS("protocol.run_ft", "{\"m\":" + std::to_string(n - 1) + "}");
 
   if (ft.faults.empty()) {
     FtRunReport out;
@@ -345,6 +352,8 @@ FtRunReport run_protocol_ft(const net::LinearNetwork& true_network,
   std::vector<double> final_computed = fx.base.computed;
   out.degraded_makespan = fx.base.makespan;
   if (residual > 1e-12) {
+    DLS_SPAN("recovery.resolve");
+    DLS_COUNT("recovery.resolves");
     out.recovery_start = exec_end;
     for (std::size_t i = 1; i < n; ++i) {
       if (fx.crashed[i] && out.detection[i].confirmed_dead) {

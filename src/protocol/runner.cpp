@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/tolerance.hpp"
 #include "crypto/pki.hpp"
+#include "obs/obs.hpp"
 #include "protocol/meter.hpp"
 #include "protocol/wire.hpp"
 
@@ -93,7 +94,9 @@ struct Round {
 /// Phase I: bids flow from the far end toward the root. Returns false if
 /// the round aborted on a substantiated grievance.
 bool phase1(Round& round, std::vector<SignedClaim>& bid_claims) {
+  DLS_SPAN("protocol.phase1");
   const std::size_t n = round.n();
+  DLS_COUNT("protocol.msgs.bid", n);
   const net::LinearNetwork& truth = *round.truth;
 
   // Equivalent bids computed from the rate bids (the agents' inputs).
@@ -180,7 +183,9 @@ bool phase1(Round& round, std::vector<SignedClaim>& bid_claims) {
 /// Phase II: allocation messages travel from the root outward; every
 /// recipient verifies signatures and arithmetic. Returns false on abort.
 bool phase2(Round& round, const std::vector<SignedClaim>& bid_claims) {
+  DLS_SPAN("protocol.phase2");
   const std::size_t n = round.n();
+  DLS_COUNT("protocol.msgs.allocation", n - 1);
   const net::LinearNetwork& truth = *round.truth;
   const dlt::LinearSolution& sol = round.report.solution;
 
@@ -258,6 +263,7 @@ bool phase2(Round& round, const std::vector<SignedClaim>& bid_claims) {
 /// Phase III: load distribution and computation through the simulator,
 /// with Λ tokens proving received amounts.
 void phase3(Round& round) {
+  DLS_SPAN("protocol.phase3");
   const std::size_t n = round.n();
   const net::LinearNetwork& truth = *round.truth;
   const dlt::LinearSolution& sol = round.report.solution;
@@ -356,7 +362,9 @@ void phase3(Round& round) {
 
 /// Phase IV: metering, payment computation, billing and audits.
 void phase4(Round& round) {
+  DLS_SPAN("protocol.phase4");
   const std::size_t n = round.n();
+  DLS_COUNT("protocol.msgs.meter", n);
   const net::LinearNetwork& truth = *round.truth;
   const sim::ExecutionResult& exec = *round.report.execution;
 
@@ -445,6 +453,7 @@ void phase4(Round& round) {
 }
 
 void finalize(Round& round) {
+  DLS_SPAN("protocol.finalize");
   const std::size_t n = round.n();
   round.report.processors.assign(n, ProcessorReport{});
   for (std::size_t i = 0; i < n; ++i) {
@@ -496,6 +505,10 @@ RunReport run_protocol(const net::LinearNetwork& true_network,
   DLS_REQUIRE(n >= 2, "the protocol needs at least one strategic worker");
   DLS_REQUIRE(population.size() == n - 1,
               "population must cover every non-root processor");
+  DLS_SPAN_ARGS("protocol.run", "{\"m\":" + std::to_string(n - 1) +
+                                    ",\"round\":" +
+                                    std::to_string(options.round) + "}");
+  DLS_COUNT("protocol.rounds");
 
   Round round;
   round.truth = &true_network;
@@ -523,6 +536,7 @@ RunReport run_protocol(const net::LinearNetwork& true_network,
     const net::LinearNetwork bid_network(
         std::move(w), {true_network.link_times().begin(),
                        true_network.link_times().end()});
+    DLS_SPAN("protocol.solve");
     round.report.solution = dlt::solve_linear_boundary(bid_network);
     round.fine = options.mechanism.fine;
     if (options.auto_size_fine) {
@@ -548,6 +562,20 @@ RunReport run_protocol(const net::LinearNetwork& true_network,
   }
   phases.advance(check::ProtocolPhase::kDone);
   finalize(round);
+  if constexpr (obs::compiled(1)) {
+    if (obs::active()) {
+      if (round.report.aborted) {
+        obs::MetricsRegistry::global().counter("protocol.aborts").add();
+      }
+      // Incident kinds are dynamic, so the static-cache DLS_COUNT form
+      // does not apply; one registry lookup per incident is fine here.
+      for (const auto& inc : round.report.incidents) {
+        obs::MetricsRegistry::global()
+            .counter("protocol.incidents." + to_string(inc.kind))
+            .add();
+      }
+    }
+  }
   // Money is conserved across every account including the treasury —
   // fines, rewards and payments are all double-entry.
   if constexpr (check::enabled(1)) {

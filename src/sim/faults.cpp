@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/error.hpp"
+#include "sim/obs_bridge.hpp"
 #include "sim/simulator.hpp"
 
 namespace dls::sim {
@@ -372,6 +373,7 @@ FaultyExecutionResult execute_linear_faulty(const net::LinearNetwork& network,
       *std::max_element(state->result.base.finish_time.begin(),
                         state->result.base.finish_time.end());
   sort_events(state->result.events);
+  publish_trace(state->result.base.trace);
   return std::move(state->result);
 }
 

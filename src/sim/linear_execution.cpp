@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/error.hpp"
+#include "sim/obs_bridge.hpp"
 #include "sim/simulator.hpp"
 
 namespace dls::sim {
@@ -87,6 +88,7 @@ ExecutionResult execute_linear(const net::LinearNetwork& network,
 
   state->result.makespan = *std::max_element(
       state->result.finish_time.begin(), state->result.finish_time.end());
+  publish_trace(state->result.trace);
   return std::move(state->result);
 }
 

@@ -1,0 +1,51 @@
+#include "sim/obs_bridge.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+
+namespace dls::sim {
+
+#if DLS_OBS_LEVEL >= 1
+
+namespace {
+
+const char* span_name(Activity activity) {
+  switch (activity) {
+    case Activity::kReceive: return "sim.receive";
+    case Activity::kSend: return "sim.send";
+    case Activity::kCompute: return "sim.compute";
+  }
+  return "sim.unknown";
+}
+
+/// 1 simulated time unit = 1 ms of trace time: readable in ms-scale
+/// viewers while keeping sub-unit intervals at ns resolution.
+constexpr double kNsPerUnit = 1e6;
+
+std::uint64_t to_ns(Time t) {
+  return static_cast<std::uint64_t>(std::llround(t * kNsPerUnit));
+}
+
+}  // namespace
+
+void publish_trace(const Trace& trace) {
+  if (!obs::active()) return;
+  for (const Interval& iv : trace.intervals()) {
+    obs::record_span(span_name(iv.activity), to_ns(iv.start), to_ns(iv.end),
+                     obs::Track::kSimulation,
+                     static_cast<std::uint32_t>(iv.processor),
+                     "{\"amount\":" + obs::internal::json_double(iv.amount) +
+                         "}");
+  }
+}
+
+#else
+
+void publish_trace(const Trace& trace) { static_cast<void>(trace); }
+
+#endif
+
+}  // namespace dls::sim

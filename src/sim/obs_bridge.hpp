@@ -1,0 +1,17 @@
+// Bridge from simulated activity traces into the observability sink.
+//
+// Each sim::Interval becomes a span on obs::Track::kSimulation with the
+// simulated processor index as its lane, so Chrome/Perfetto renders the
+// Figure 2 Gantt chart alongside the runtime flame graph. One simulated
+// time unit maps to 1 ms (1e6 ns) of trace time.
+#pragma once
+
+#include "sim/trace.hpp"
+
+namespace dls::sim {
+
+/// Publishes every interval of `trace` into the global trace sink.
+/// No-op when collection is inactive or DLS_OBS_LEVEL=0.
+void publish_trace(const Trace& trace);
+
+}  // namespace dls::sim

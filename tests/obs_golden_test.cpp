@@ -1,0 +1,99 @@
+// Golden-trace test: the Chrome trace JSON of the canonical Figure 2
+// scenario (m = 3 equal workers) is pinned byte-for-byte. Timestamps
+// come from the logical clock and the run is single-threaded, so the
+// file is fully deterministic at a given DLS_OBS_LEVEL.
+//
+// The golden is generated at DLS_OBS_LEVEL=2 (the level CI builds run
+// at); other levels skip rather than fail. To bless an intentional
+// change, run tools/regen_goldens.sh, which rebuilds at level 2 and
+// re-runs this test with DLS_REGEN_GOLDENS=1.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "agents/agent.hpp"
+#include "net/networks.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_export.hpp"
+#include "protocol/runner.hpp"
+
+namespace {
+
+using dls::agents::Behavior;
+using dls::agents::Population;
+using dls::agents::StrategicAgent;
+using dls::net::LinearNetwork;
+using dls::obs::MetricsRegistry;
+using dls::obs::TraceSink;
+
+std::string golden_path() {
+  return std::string(DLS_GOLDEN_DIR) + "/fig2_m3_trace.json";
+}
+
+std::string render_fig2_trace() {
+  dls::obs::use_logical_clock();
+  TraceSink::global().clear();
+  MetricsRegistry::global().reset();
+  dls::obs::set_active(true);
+
+  // The Figure 2 chain: root + three equal workers, equal links.
+  const LinearNetwork net({1.0, 1.0, 1.0, 1.0}, {0.2, 0.2, 0.2});
+  const Population pop({StrategicAgent{1, 1.0, Behavior::truthful()},
+                        StrategicAgent{2, 1.0, Behavior::truthful()},
+                        StrategicAgent{3, 1.0, Behavior::truthful()}});
+  dls::protocol::ProtocolOptions options;
+  options.seed = 42;
+  const auto report = dls::protocol::run_protocol(net, pop, options);
+  EXPECT_FALSE(report.aborted);
+
+  dls::obs::set_active(false);
+  const auto events = TraceSink::global().drain();
+  const auto metrics = MetricsRegistry::global().snapshot();
+  std::ostringstream out;
+  dls::obs::write_chrome_trace(out, events, &metrics);
+
+  TraceSink::global().clear();
+  MetricsRegistry::global().reset();
+  dls::obs::use_steady_clock();
+  return out.str();
+}
+
+TEST(ObsGolden, Fig2TraceMatchesGolden) {
+  if (DLS_OBS_LEVEL != 2) {
+    GTEST_SKIP() << "golden pinned at DLS_OBS_LEVEL=2, compiled level is "
+                 << DLS_OBS_LEVEL;
+  }
+  const std::string actual = render_fig2_trace();
+
+  if (std::getenv("DLS_REGEN_GOLDENS") != nullptr) {
+    std::ofstream out(golden_path());
+    ASSERT_TRUE(out) << "cannot write " << golden_path();
+    out << actual;
+    GTEST_SKIP() << "golden regenerated at " << golden_path();
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in) << "missing golden " << golden_path()
+                  << " — run tools/regen_goldens.sh";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+
+  // Byte-for-byte: any change to span placement, naming, event order or
+  // exporter formatting must be blessed via tools/regen_goldens.sh.
+  EXPECT_EQ(actual, expected)
+      << "trace drifted from the golden; if intentional, run "
+         "tools/regen_goldens.sh";
+}
+
+TEST(ObsGolden, Fig2TraceIsStableAcrossRenders) {
+  // Level-independent sanity: two renders in one process are identical.
+  const std::string a = render_fig2_trace();
+  const std::string b = render_fig2_trace();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace

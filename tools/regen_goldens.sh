@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates the checked-in golden traces under tests/golden/.
+#
+# Goldens are rendered at DLS_OBS_LEVEL=2 (the level the CI verify job
+# builds at), which the default local build typically is not — so this
+# script configures a dedicated build tree with the level pinned, builds
+# the golden test, and re-runs it with DLS_REGEN_GOLDENS=1 so the test
+# writes the trace it would otherwise compare against. Usage:
+#
+#   tools/regen_goldens.sh
+#
+# Review the resulting diff under tests/golden/ before committing: every
+# byte of drift is an intentional observability change you are blessing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${GOLDEN_BUILD_DIR:-build-golden}
+JOBS=${GOLDEN_JOBS:-$(nproc)}
+
+cmake -S . -B "$BUILD_DIR" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDLS_OBS_LEVEL=2 >/dev/null
+cmake --build "$BUILD_DIR" --target obs_golden_test -j "$JOBS"
+
+mkdir -p tests/golden
+DLS_REGEN_GOLDENS=1 "$BUILD_DIR"/tests/obs_golden_test \
+  --gtest_filter='ObsGolden.Fig2TraceMatchesGolden'
+
+# Immediately verify the fresh golden round-trips.
+"$BUILD_DIR"/tests/obs_golden_test
+
+echo "goldens regenerated under tests/golden/"
+git --no-pager diff --stat -- tests/golden/ || true
