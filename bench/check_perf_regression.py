@@ -7,6 +7,12 @@ slower than --threshold times the baseline. Benchmarks present in only
 one report are listed but never fail the gate, so adding or retiring
 benchmarks does not require touching this script.
 
+User counters whose name starts with ``hist_`` (the serve bench exports
+its obs-histogram latency quantiles as hist_p50_us / hist_p99_us) are
+gated too, as pseudo-benchmarks named ``<benchmark>#<counter>`` — so a
+latency-distribution regression fails the gate even when the benchmark's
+own cpu_time stays flat (closed-loop wall time hides tail latency).
+
 Usage:
     bench/check_perf_regression.py BASELINE CURRENT [--threshold 3.0]
 """
@@ -32,6 +38,11 @@ def load_cpu_times_ns(path: str) -> dict[str, float]:
         if unit is None:
             raise SystemExit(f"{path}: unknown time_unit in {bench['name']}")
         times[bench["name"]] = float(bench["cpu_time"]) * unit
+        # hist_* user counters are latency quantiles in microseconds;
+        # gate them alongside cpu_time as pseudo-benchmarks.
+        for counter, value in bench.items():
+            if isinstance(counter, str) and counter.startswith("hist_"):
+                times[f"{bench['name']}#{counter}"] = float(value) * 1e3
     return times
 
 

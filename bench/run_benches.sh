@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Runs the perf microbenchmark suite and writes a google-benchmark JSON
+# Runs the perf benchmark suite — bench_perf_micro plus the serve-layer
+# bench_serve_throughput — and writes ONE merged google-benchmark JSON
 # report, the format consumed by bench/check_perf_regression.py.
 #
 # Usage:
@@ -10,6 +11,10 @@
 #   bench/run_benches.sh build /tmp/now.json \
 #     --benchmark_filter='^bm_solver/(16|256|4096)$|^bm_event_engine/1024$'
 #
+# Extra benchmark args (e.g. --benchmark_filter) are passed to BOTH
+# binaries; a binary whose benchmarks are all filtered out still emits a
+# valid empty report, so the merge stays well-formed.
+#
 # Refresh the committed baseline after an intentional perf change with:
 #   bench/run_benches.sh build bench/BENCH_perf.json
 set -euo pipefail
@@ -19,27 +24,67 @@ build_dir="${1:-$repo_root/build}"
 out_json="${2:-$repo_root/bench/BENCH_perf.json}"
 shift $(( $# > 2 ? 2 : $# ))
 
-bench_bin="$build_dir/bench/bench_perf_micro"
-if [[ ! -x "$bench_bin" ]]; then
-  echo "error: $bench_bin not built (cmake --build $build_dir --target bench_perf_micro)" >&2
-  exit 1
-fi
+bench_bins=(
+  "$build_dir/bench/bench_perf_micro"
+  "$build_dir/bench/bench_serve_throughput"
+)
+for bench_bin in "${bench_bins[@]}"; do
+  if [[ ! -x "$bench_bin" ]]; then
+    echo "error: $bench_bin not built (cmake --build $build_dir --target $(basename "$bench_bin"))" >&2
+    exit 1
+  fi
+done
 
 # Optional trace archiving: set TRACE_OUT=/path/trace.json to collect a
 # Chrome trace of the whole bench run alongside the JSON report (the
-# bench binary's custom main handles --trace-out).
+# bench binaries' custom main handles --trace-out). Only the first
+# binary traces; one archive per run is enough.
 trace_args=()
 if [[ -n "${TRACE_OUT:-}" ]]; then
   mkdir -p "$(dirname "$TRACE_OUT")"
   trace_args+=("--trace-out=$TRACE_OUT")
 fi
 
-"$bench_bin" \
-  --benchmark_out="$out_json" \
-  --benchmark_out_format=json \
-  ${trace_args[@]+"${trace_args[@]}"} \
-  "$@"
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
 
+part_jsons=()
+for i in "${!bench_bins[@]}"; do
+  part="$tmp_dir/part$i.json"
+  part_jsons+=("$part")
+  extra=()
+  if [[ "$i" == 0 ]]; then
+    extra=(${trace_args[@]+"${trace_args[@]}"})
+  fi
+  "${bench_bins[$i]}" \
+    --benchmark_out="$part" \
+    --benchmark_out_format=json \
+    ${extra[@]+"${extra[@]}"} \
+    "$@"
+done
+
+# Merge: keep the first report's context, concatenate the "benchmarks"
+# arrays in run order.
+python3 - "$out_json" "${part_jsons[@]}" <<'PY'
+import json
+import sys
+
+out_path, *parts = sys.argv[1:]
+merged = None
+for part in parts:
+    with open(part, encoding="utf-8") as handle:
+        report = json.load(handle)
+    if merged is None:
+        merged = report
+    else:
+        merged.setdefault("benchmarks", []).extend(
+            report.get("benchmarks", []))
+with open(out_path, "w", encoding="utf-8") as handle:
+    json.dump(merged, handle, indent=2)
+    handle.write("\n")
+PY
+
+echo "merged report written to $out_json"
 if [[ -n "${TRACE_OUT:-}" ]]; then
   echo "trace archived at $TRACE_OUT"
 fi

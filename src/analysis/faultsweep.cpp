@@ -6,6 +6,7 @@
 #include "analysis/experiments.hpp"
 #include "common/error.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace dls::analysis {
 
@@ -94,6 +95,10 @@ std::vector<FaultSweepRow> run_fault_sweep(const FaultSweepConfig& config) {
   // fixed order, so results do not depend on the worker count.
   const std::size_t rates = config.crash_rates.size();
   std::vector<TrialOutcome> outcomes(rates * config.trials);
+  DLS_SPAN_ARGS("analysis.faultsweep",
+                "{\"rates\":" + std::to_string(rates) +
+                    ",\"trials\":" + std::to_string(config.trials) + "}");
+  DLS_COUNT("analysis.grid_points", outcomes.size());
   exec::ThreadPool::global().parallel_for(
       outcomes.size(),
       [&](std::size_t k) {

@@ -8,6 +8,7 @@
 #include "common/optimize.hpp"
 #include "dlt/star.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace dls::analysis {
 
@@ -57,6 +58,8 @@ sim::StarSchedule build_schedule(const dlt::StarSolution& base,
 MultiRoundSolution solve_multiround_star(const net::StarNetwork& network,
                                          std::size_t rounds) {
   DLS_REQUIRE(rounds >= 1, "need at least one round");
+  DLS_SPAN_ARGS("analysis.multiround",
+                "{\"rounds\":" + std::to_string(rounds) + "}");
   const dlt::StarSolution base = dlt::solve_star(network);
 
   auto evaluate = [&](double root_share, double theta) {
@@ -77,6 +80,7 @@ MultiRoundSolution solve_multiround_star(const net::StarNetwork& network,
     const auto roots = linspace(0.0, 0.9, 13);
     const auto thetas = logspace(theta_lo, theta_hi, 17);
     std::vector<double> cost(roots.size() * thetas.size());
+    DLS_COUNT("analysis.grid_points", cost.size());
     exec::ThreadPool::global().parallel_for(
         cost.size(),
         [&](std::size_t k) {
@@ -107,6 +111,7 @@ MultiRoundSolution solve_multiround_star(const net::StarNetwork& network,
   } else {
     const auto thetas = logspace(theta_lo, theta_hi, 17);
     std::vector<double> cost(thetas.size());
+    DLS_COUNT("analysis.grid_points", cost.size());
     exec::ThreadPool::global().parallel_for(
         cost.size(), [&](std::size_t k) { cost[k] = evaluate(0.0, thetas[k]); },
         {.grain = 1});

@@ -31,6 +31,19 @@ void Writer::varint(std::uint64_t v) {
 
 void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
 
+void Writer::f64_array(std::span<const double> values) {
+  if constexpr (std::endian::native == std::endian::little) {
+    // A double's object representation already is its little-endian
+    // IEEE-754 bit pattern here, so the canonical encoding is a single
+    // bulk append instead of eight branchy pushes per element.
+    const auto* first = reinterpret_cast<const std::uint8_t*>(values.data());
+    buffer_.insert(buffer_.end(), first,
+                   first + values.size() * sizeof(double));
+  } else {
+    for (const double v : values) f64(v);
+  }
+}
+
 void Writer::string(std::string_view s) {
   varint(s.size());
   buffer_.insert(buffer_.end(), s.begin(), s.end());
@@ -94,6 +107,17 @@ std::uint64_t Reader::varint() {
 }
 
 double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+void Reader::f64_array(std::span<double> out) {
+  need(out.size() * sizeof(double));
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out.data(), data_.data() + pos_,
+                out.size() * sizeof(double));
+    pos_ += out.size() * sizeof(double);
+  } else {
+    for (double& v : out) v = f64();
+  }
+}
 
 std::string Reader::string() {
   const std::uint64_t len = varint();

@@ -35,6 +35,10 @@ class Writer {
   void varint(std::uint64_t v);
   /// IEEE-754 bit pattern, little-endian.
   void f64(double v);
+  /// Bulk f64: byte-identical to calling f64 per element, but one
+  /// buffer append on little-endian hosts (the serve transport moves
+  /// multi-thousand-element vectors; per-byte appends dominate there).
+  void f64_array(std::span<const double> values);
   /// varint length + raw bytes.
   void string(std::string_view s);
   /// varint length + raw bytes.
@@ -62,6 +66,8 @@ class Reader {
   std::int64_t i64();
   std::uint64_t varint();
   double f64();
+  /// Bulk f64: fills `out`, equivalent to one f64() per element.
+  void f64_array(std::span<double> out);
   std::string string();
   Bytes bytes();
 

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 #include "obs/json.hpp"
@@ -40,6 +41,33 @@ void Histogram::reset() noexcept {
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double histogram_quantile(const HistogramSnapshot& h, double q) {
+  DLS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must lie in [0, 1]");
+  if (h.count == 0 || h.counts.empty()) return 0.0;
+  // Rank of the q-th observation, 1-based, clamped into [1, count].
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(h.count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const std::uint64_t in_bucket = h.counts[i];
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    const double lo = i == 0 ? 0.0 : h.bounds[i - 1];
+    if (i >= h.bounds.size()) return lo;  // overflow bucket
+    const double hi = h.bounds[i];
+    const double fraction =
+        in_bucket == 0
+            ? 1.0
+            : static_cast<double>(rank - cumulative) /
+                  static_cast<double>(in_bucket);
+    return lo + (hi - lo) * fraction;
+  }
+  return h.bounds.empty() ? 0.0 : h.bounds.back();
 }
 
 MetricsRegistry& MetricsRegistry::global() {

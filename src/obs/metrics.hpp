@@ -100,6 +100,14 @@ struct HistogramSnapshot {
   double sum = 0.0;
 };
 
+/// Quantile estimate from bucket counts, q in [0, 1]. Interpolates
+/// linearly inside the bucket holding the q-th observation (the first
+/// bucket's lower edge is 0, the overflow bucket collapses to its lower
+/// edge — a known underestimate there). Returns 0 for an empty
+/// histogram. Resolution is bounded by the bucket edges; perf gates
+/// that consume these values must use matching edges on both sides.
+double histogram_quantile(const HistogramSnapshot& h, double q);
+
 /// Point-in-time copy of every registered metric, ordered by name.
 struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;

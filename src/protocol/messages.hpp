@@ -34,6 +34,28 @@ struct AllocationMessage {
   crypto::SignedClaim equiv_bid_self;  ///< dsm_{i-1}(w̄_i), echo of Phase I
 };
 
+/// Phase III: P_i's end-of-round report to the root — the tamper-proof
+/// meter's reading dsm_0(w̃_i) forwarded together with P_i's own claim
+/// over its Λ token count, the evidence a load-shedding grievance
+/// rests on.
+struct ReportMessage {
+  crypto::SignedClaim metered_rate;  ///< dsm_0(w̃_i), kMeteredRate
+  crypto::SignedClaim token_count;   ///< dsm_i(|Λ_i|), kLoadTokenCount
+};
+
+/// Phase IV: the root's payment notice to P_i — the monetary terms of
+/// eqs. (4.6)-(4.9) plus the meter reading the bill rests on, so the
+/// recipient can audit the arithmetic against its own records.
+struct PaymentMessage {
+  std::uint32_t processor = 0;  ///< i, the paid processor's position
+  std::uint64_t round = 0;
+  double compensation = 0.0;    ///< C_i (includes E_i)
+  double bonus = 0.0;           ///< B_i
+  double solution_bonus = 0.0;  ///< S (0 unless enabled and solved)
+  double payment = 0.0;         ///< Q_i
+  crypto::SignedClaim metered_rate;  ///< dsm_0(w̃_i) echoed from Phase III
+};
+
 /// Result of verifying a message: empty string = OK, otherwise a
 /// description of the first failed check (the grievance text).
 struct VerificationResult {

@@ -25,4 +25,12 @@ codec::Bytes encode_allocation_message(const AllocationMessage& message);
 AllocationMessage decode_allocation_message(
     std::span<const std::uint8_t> data);
 
+/// Phase III report message <-> bytes.
+codec::Bytes encode_report_message(const ReportMessage& message);
+ReportMessage decode_report_message(std::span<const std::uint8_t> data);
+
+/// Phase IV payment message <-> bytes.
+codec::Bytes encode_payment_message(const PaymentMessage& message);
+PaymentMessage decode_payment_message(std::span<const std::uint8_t> data);
+
 }  // namespace dls::protocol

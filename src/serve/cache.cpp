@@ -1,0 +1,63 @@
+#include "serve/cache.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace dls::serve {
+
+SolveCache::SolveCache(std::size_t capacity) : capacity_(capacity) {}
+
+SolveCache::Value SolveCache::lookup(const codec::Bytes& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(view_of(key));
+  if (it == index_.end()) {
+    ++misses_;
+    DLS_COUNT("serve.cache.misses");
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  DLS_COUNT("serve.cache.hits");
+  return it->second->value;
+}
+
+void SolveCache::insert(const codec::Bytes& key, Value value) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(view_of(key));
+  if (it != index_.end()) {
+    // Deterministic solver: the resident value equals the offered one.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    const Entry& victim = lru_.back();
+    index_.erase(std::string_view(victim.key));
+    lru_.pop_back();
+    ++evictions_;
+    DLS_COUNT("serve.cache.evictions");
+  }
+  lru_.push_front(Entry{std::string(view_of(key)), std::move(value)});
+  index_.emplace(std::string_view(lru_.front().key), lru_.begin());
+}
+
+std::size_t SolveCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t SolveCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t SolveCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t SolveCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace dls::serve

@@ -1,0 +1,69 @@
+#include "serve/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "serve/frame.hpp"
+
+namespace dls::serve {
+
+ScheduleResponse SchedulerClient::schedule(std::span<const double> w,
+                                           std::span<const double> z,
+                                           const ScheduleOptions& options) {
+  return round_trip(w, z, options);
+}
+
+ScheduleResponse SchedulerClient::schedule(const net::LinearNetwork& network,
+                                           const ScheduleOptions& options) {
+  return round_trip(network.processing_times(), network.link_times(),
+                    options);
+}
+
+ScheduleResponse SchedulerClient::schedule_with_retry(
+    std::span<const double> w, std::span<const double> z,
+    const ScheduleOptions& options,
+    const protocol::HeartbeatConfig& policy) {
+  ScheduleResponse response = round_trip(w, z, options);
+  double wait = policy.period;
+  for (std::size_t attempt = 0;
+       response.status == ScheduleStatus::kShed &&
+       attempt < policy.retry_budget;
+       ++attempt) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+    wait = std::min(wait * policy.backoff_factor, policy.max_backoff);
+    response = round_trip(w, z, options);
+  }
+  return response;
+}
+
+ScheduleResponse SchedulerClient::round_trip(std::span<const double> w,
+                                             std::span<const double> z,
+                                             const ScheduleOptions& options) {
+  ScheduleRequest request;
+  request.request_id = ++next_id_;
+  request.w.assign(w.begin(), w.end());
+  request.z.assign(z.begin(), z.end());
+  request.options = options;
+  write_frame(end_, Frame{FrameType::kScheduleRequest,
+                          encode_schedule_request(request)});
+  auto frame = read_frame(end_);
+  if (!frame) {
+    throw TransportError("service closed the connection before answering");
+  }
+  if (frame->type != FrameType::kScheduleResponse) {
+    throw TransportError("unexpected frame type '" + to_string(frame->type) +
+                         "' while awaiting a schedule response");
+  }
+  ScheduleResponse response = decode_schedule_response(frame->payload);
+  if (response.request_id != request.request_id && response.request_id != 0) {
+    throw TransportError("response id " +
+                         std::to_string(response.request_id) +
+                         " does not match request id " +
+                         std::to_string(request.request_id));
+  }
+  return response;
+}
+
+}  // namespace dls::serve

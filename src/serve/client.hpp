@@ -1,0 +1,58 @@
+// Typed client for the scheduling service.
+//
+// Wraps one end of a service connection in a synchronous call API:
+// schedule() encodes a ScheduleRequest frame, writes it, and blocks for
+// the matching ScheduleResponse. Shed responses (admission queue full)
+// can be retried transparently with the recovery layer's probe-backoff
+// policy: attempt k sleeps period * backoff_factor^k seconds, capped at
+// max_backoff, and gives up after retry_budget resends — the same
+// HeartbeatConfig knobs the crash detector uses for its probes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/networks.hpp"
+#include "protocol/recovery.hpp"
+#include "serve/pipe.hpp"
+#include "serve/service_wire.hpp"
+
+namespace dls::serve {
+
+class SchedulerClient {
+ public:
+  /// Takes ownership of the client end returned by
+  /// SchedulerService::connect().
+  explicit SchedulerClient(PipeEnd end) : end_(std::move(end)) {}
+
+  /// One synchronous request/response round trip. Throws TransportError
+  /// when the service hung up before answering.
+  ScheduleResponse schedule(std::span<const double> w,
+                            std::span<const double> z,
+                            const ScheduleOptions& options = {});
+
+  /// Convenience flavour over a network description.
+  ScheduleResponse schedule(const net::LinearNetwork& network,
+                            const ScheduleOptions& options = {});
+
+  /// schedule(), resending on kShed with exponential backoff per
+  /// `policy`. Returns the last response (still kShed when the budget
+  /// ran out).
+  ScheduleResponse schedule_with_retry(
+      std::span<const double> w, std::span<const double> z,
+      const ScheduleOptions& options,
+      const protocol::HeartbeatConfig& policy);
+
+  /// Hangs up; the service session observes EOF and exits.
+  void close() noexcept { end_.close(); }
+
+ private:
+  ScheduleResponse round_trip(std::span<const double> w,
+                              std::span<const double> z,
+                              const ScheduleOptions& options);
+
+  PipeEnd end_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace dls::serve

@@ -1,0 +1,106 @@
+#include "serve/frame.hpp"
+
+#include <array>
+#include <utility>
+
+namespace dls::serve {
+
+namespace {
+
+/// Validates the fixed header fields and returns (type, payload size).
+/// Factored out so the buffer and stream decoders reject identically.
+std::pair<FrameType, std::size_t> take_header(codec::Reader& r) {
+  const std::uint32_t magic = r.u32();
+  if (magic != kFrameMagic) {
+    throw codec::DecodeError("bad frame magic: expected " +
+                             std::to_string(kFrameMagic) + ", got " +
+                             std::to_string(magic));
+  }
+  const std::uint8_t version = r.u8();
+  if (version != kFrameVersion) {
+    throw codec::DecodeError("unsupported frame version " +
+                             std::to_string(version));
+  }
+  const std::uint8_t type = r.u8();
+  if (type < static_cast<std::uint8_t>(FrameType::kScheduleRequest) ||
+      type > static_cast<std::uint8_t>(FrameType::kPayment)) {
+    throw codec::DecodeError("unknown frame type " + std::to_string(type));
+  }
+  const std::uint32_t length = r.u32();
+  if (length > kMaxFramePayload) {
+    throw codec::DecodeError("frame payload of " + std::to_string(length) +
+                             " bytes exceeds the " +
+                             std::to_string(kMaxFramePayload) + " byte cap");
+  }
+  return {static_cast<FrameType>(type), static_cast<std::size_t>(length)};
+}
+
+}  // namespace
+
+std::string to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kScheduleRequest:
+      return "schedule_request";
+    case FrameType::kScheduleResponse:
+      return "schedule_response";
+    case FrameType::kBid:
+      return "bid";
+    case FrameType::kAllocation:
+      return "allocation";
+    case FrameType::kReport:
+      return "report";
+    case FrameType::kPayment:
+      return "payment";
+  }
+  return "unknown";
+}
+
+codec::Bytes encode_frame(const Frame& frame) {
+  DLS_REQUIRE(frame.payload.size() <= kMaxFramePayload,
+              "frame payload exceeds kMaxFramePayload");
+  codec::Writer w;
+  w.u32(kFrameMagic);
+  w.u8(kFrameVersion);
+  w.u8(static_cast<std::uint8_t>(frame.type));
+  w.u32(static_cast<std::uint32_t>(frame.payload.size()));
+  w.raw(frame.payload);
+  return w.take();
+}
+
+Frame decode_frame(std::span<const std::uint8_t> data) {
+  codec::Reader r(data);
+  const auto [type, length] = take_header(r);
+  if (r.remaining() < length) {
+    throw codec::DecodeError("frame truncated: payload of " +
+                             std::to_string(length) + " bytes announced, " +
+                             std::to_string(r.remaining()) + " present");
+  }
+  Frame frame;
+  frame.type = type;
+  frame.payload.resize(length);
+  for (auto& byte : frame.payload) byte = r.u8();
+  r.expect_done();
+  return frame;
+}
+
+void write_frame(PipeEnd& end, const Frame& frame) {
+  end.write(encode_frame(frame));
+}
+
+std::optional<Frame> read_frame(PipeEnd& end) {
+  std::array<std::uint8_t, kFrameHeaderSize> header{};
+  if (!end.read_exact(header)) return std::nullopt;
+  codec::Reader r(header);
+  const auto [type, length] = take_header(r);
+  r.expect_done();
+  Frame frame;
+  frame.type = type;
+  frame.payload.resize(length);
+  if (length > 0 && !end.read_exact(frame.payload)) {
+    throw TransportError("pipe closed inside a frame payload (" +
+                         std::to_string(length) + " bytes announced)");
+  }
+  return frame;
+}
+
+}  // namespace dls::serve

@@ -1,0 +1,67 @@
+// Length-prefixed framing for the scheduling service transport.
+//
+// Every message crossing a connection travels inside one frame:
+//
+//   offset  size  field
+//   0       4     magic   0x46534C44 ("DLSF" as little-endian bytes)
+//   4       1     version (kFrameVersion)
+//   5       1     type    (FrameType, 1..6)
+//   6       4     payload length N (little-endian; N <= kMaxFramePayload)
+//   10      N     payload (a protocol/serve wire encoding, magic included)
+//
+// Decoding follows the codec/wire discipline: unknown magic, unsupported
+// version, unknown type, oversized length, truncation and trailing bytes
+// are all rejected with codec::DecodeError before any payload decode
+// runs. The payload itself carries its own wire magic, so a frame whose
+// type tag disagrees with its payload is caught by the payload decoder.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "codec/bytes.hpp"
+#include "serve/pipe.hpp"
+
+namespace dls::serve {
+
+/// Payload kind carried by a frame. Values are wire-stable; extend at
+/// the tail only.
+enum class FrameType : std::uint8_t {
+  kScheduleRequest = 1,   ///< serve::ScheduleRequest
+  kScheduleResponse = 2,  ///< serve::ScheduleResponse
+  kBid = 3,               ///< protocol::BidMessage (Phase I)
+  kAllocation = 4,        ///< protocol::AllocationMessage (Phase II)
+  kReport = 5,            ///< protocol::ReportMessage (Phase III)
+  kPayment = 6,           ///< protocol::PaymentMessage (Phase IV)
+};
+
+std::string to_string(FrameType type);
+
+inline constexpr std::uint32_t kFrameMagic = 0x46534C44;  // "DLSF"
+inline constexpr std::uint8_t kFrameVersion = 1;
+/// Header bytes preceding the payload (magic + version + type + length).
+inline constexpr std::size_t kFrameHeaderSize = 10;
+/// A header announcing a larger payload is rejected before allocating.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 26;
+
+struct Frame {
+  FrameType type{};
+  codec::Bytes payload;
+};
+
+/// Frame <-> bytes. decode_frame is strict: the buffer must hold exactly
+/// one well-formed frame.
+codec::Bytes encode_frame(const Frame& frame);
+Frame decode_frame(std::span<const std::uint8_t> data);
+
+/// Writes one frame as a single atomic transport unit.
+void write_frame(PipeEnd& end, const Frame& frame);
+
+/// Reads the next frame. Returns nullopt on clean EOF (the peer closed
+/// between frames); throws codec::DecodeError on a malformed header and
+/// TransportError when the stream ends inside a frame.
+std::optional<Frame> read_frame(PipeEnd& end);
+
+}  // namespace dls::serve

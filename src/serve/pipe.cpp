@@ -1,0 +1,115 @@
+#include "serve/pipe.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+namespace dls::serve {
+
+namespace internal {
+
+/// One direction of a pipe: an unbounded FIFO of bytes guarded by a
+/// mutex, with a condition variable waking blocked readers. Unbounded
+/// is deliberate — backpressure in the service layer is explicit (the
+/// admission queue sheds), not implicit in the transport.
+class ByteQueue {
+ public:
+  void append(std::span<const std::uint8_t> data) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_) throw TransportError("write on closed pipe");
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+    cv_.notify_all();
+  }
+
+  bool read_exact(std::span<std::uint8_t> out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] {
+      return closed_ || buffer_.size() - pos_ >= out.size();
+    });
+    const std::size_t available = buffer_.size() - pos_;
+    if (available >= out.size()) {
+      std::copy_n(buffer_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  out.size(), out.begin());
+      pos_ += out.size();
+      compact();
+      return true;
+    }
+    // Closed with less than a full read buffered: EOF only at a clean
+    // boundary, otherwise the stream was torn mid-unit.
+    if (available == 0) return false;
+    throw TransportError("pipe closed mid-read (" +
+                         std::to_string(available) + " of " +
+                         std::to_string(out.size()) + " bytes buffered)");
+  }
+
+  void close() noexcept {
+    std::unique_lock<std::mutex> lock(mutex_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  /// Drops the consumed prefix once it dominates the buffer, keeping
+  /// the queue O(live bytes) on long-lived connections.
+  void compact() {
+    if (pos_ >= 4096 && pos_ * 2 >= buffer_.size()) {
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+      pos_ = 0;
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t pos_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace internal
+
+PipeEnd::PipeEnd(std::shared_ptr<internal::ByteQueue> rx,
+                 std::shared_ptr<internal::ByteQueue> tx)
+    : rx_(std::move(rx)), tx_(std::move(tx)) {}
+
+PipeEnd& PipeEnd::operator=(PipeEnd&& other) noexcept {
+  if (this != &other) {
+    close();
+    rx_ = std::move(other.rx_);
+    tx_ = std::move(other.tx_);
+  }
+  return *this;
+}
+
+PipeEnd::~PipeEnd() { close(); }
+
+void PipeEnd::write(std::span<const std::uint8_t> data) {
+  if (!tx_) throw TransportError("write on invalid pipe end");
+  tx_->append(data);
+}
+
+bool PipeEnd::read_exact(std::span<std::uint8_t> out) {
+  if (!rx_) throw TransportError("read on invalid pipe end");
+  return rx_->read_exact(out);
+}
+
+void PipeEnd::close() noexcept {
+  if (tx_) tx_->close();
+  if (rx_) rx_->close();
+  tx_.reset();
+  rx_.reset();
+}
+
+bool PipeEnd::valid() const noexcept { return tx_ != nullptr; }
+
+Pipe make_pipe() {
+  auto a_to_b = std::make_shared<internal::ByteQueue>();
+  auto b_to_a = std::make_shared<internal::ByteQueue>();
+  Pipe pipe;
+  pipe.a = PipeEnd(b_to_a, a_to_b);
+  pipe.b = PipeEnd(a_to_b, b_to_a);
+  return pipe;
+}
+
+}  // namespace dls::serve

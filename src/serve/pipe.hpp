@@ -1,0 +1,88 @@
+// In-memory duplex byte transport for the scheduling service.
+//
+// A Pipe is a pair of connected endpoints: bytes written to one end are
+// read, in order, from the other. It is the transport seam the service
+// layer is written against — frames travel over PipeEnds today and over
+// sockets in a deployment, with identical framing discipline either way.
+//
+// Semantics:
+//  * write() appends its whole span as one atomic unit, so concurrent
+//    writers (several service threads answering on one connection) never
+//    interleave partial frames;
+//  * read_exact() blocks until the requested byte count arrived; a
+//    clean close at a read boundary reports EOF, a close mid-read
+//    throws TransportError (a torn frame is an error, not an EOF);
+//  * close() shuts both directions: the peer's reads drain buffered
+//    bytes then observe EOF, and the peer's writes throw.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace dls::serve {
+
+/// A transport operation failed: write after close, or the peer hung up
+/// in the middle of a frame.
+class TransportError : public dls::Error {
+ public:
+  explicit TransportError(const std::string& what) : Error(what) {}
+};
+
+namespace internal {
+class ByteQueue;
+}  // namespace internal
+
+struct Pipe;
+
+/// One end of an in-memory duplex byte stream. Move-only; destroying an
+/// end closes it, so a dropped endpoint never leaves the peer blocked.
+class PipeEnd {
+ public:
+  PipeEnd() = default;
+  PipeEnd(PipeEnd&& other) noexcept = default;
+  PipeEnd& operator=(PipeEnd&& other) noexcept;
+  ~PipeEnd();
+
+  PipeEnd(const PipeEnd&) = delete;
+  PipeEnd& operator=(const PipeEnd&) = delete;
+
+  /// Appends `data` to the outbound stream as one atomic unit. Throws
+  /// TransportError when this end or the peer's inbound side is closed.
+  void write(std::span<const std::uint8_t> data);
+
+  /// Blocks until out.size() inbound bytes are available and copies
+  /// them. Returns false on clean EOF (closed with nothing buffered);
+  /// throws TransportError when the stream closed mid-read.
+  bool read_exact(std::span<std::uint8_t> out);
+
+  /// Closes both directions. Pending and future peer reads drain what
+  /// was already written, then observe EOF; peer writes throw.
+  /// Idempotent.
+  void close() noexcept;
+
+  /// True while the endpoint is connected (not default-constructed,
+  /// moved-from or closed).
+  bool valid() const noexcept;
+
+ private:
+  friend Pipe make_pipe();
+  PipeEnd(std::shared_ptr<internal::ByteQueue> rx,
+          std::shared_ptr<internal::ByteQueue> tx);
+
+  std::shared_ptr<internal::ByteQueue> rx_;
+  std::shared_ptr<internal::ByteQueue> tx_;
+};
+
+/// A connected endpoint pair: a.write -> b.read and b.write -> a.read.
+struct Pipe {
+  PipeEnd a;
+  PipeEnd b;
+};
+
+Pipe make_pipe();
+
+}  // namespace dls::serve

@@ -1,0 +1,307 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/networks.hpp"
+#include "obs/obs.hpp"
+#include "serve/frame.hpp"
+
+namespace dls::serve {
+
+namespace {
+
+double elapsed_us(std::chrono::steady_clock::time_point since,
+                  std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double, std::micro>(now - since).count();
+}
+
+}  // namespace
+
+SchedulerService::SchedulerService(ServiceConfig config,
+                                   exec::ThreadPool* pool)
+    : config_(config),
+      pool_(pool != nullptr ? pool : &exec::ThreadPool::global()),
+      cache_(config.cache_capacity),
+      paused_(config.start_paused) {
+  DLS_REQUIRE(config_.queue_capacity >= 1,
+              "service needs a queue of at least one request");
+  DLS_REQUIRE(config_.max_batch >= 1, "max_batch must be at least 1");
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+SchedulerService::~SchedulerService() { stop(); }
+
+PipeEnd SchedulerService::connect() {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  DLS_REQUIRE(accepting_, "connect() on a stopped service");
+  Pipe pipe = make_pipe();
+  auto session = std::make_unique<Session>();
+  session->end = std::move(pipe.a);
+  Session* raw = session.get();
+  session->reader = std::thread([this, raw] { session_loop(raw); });
+  sessions_.push_back(std::move(session));
+  DLS_COUNT("serve.sessions");
+  return std::move(pipe.b);
+}
+
+void SchedulerService::pause() {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  paused_ = true;
+}
+
+void SchedulerService::resume() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+}
+
+void SchedulerService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    accepting_ = false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // Closing the server ends unblocks every reader (EOF) and makes any
+  // late response write throw, which send_response absorbs.
+  std::vector<std::unique_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions.swap(sessions_);
+  }
+  for (auto& session : sessions) session->end.close();
+  for (auto& session : sessions) {
+    if (session->reader.joinable()) session->reader.join();
+  }
+}
+
+ServiceStats SchedulerService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void SchedulerService::session_loop(Session* session) {
+  try {
+    while (auto frame = read_frame(session->end)) {
+      if (frame->type != FrameType::kScheduleRequest) {
+        ScheduleResponse refusal;
+        refusal.status = ScheduleStatus::kError;
+        refusal.error = "unexpected frame type '" + to_string(frame->type) +
+                        "' (expected schedule_request)";
+        count_response(refusal);
+        send_response(session, refusal);
+        continue;
+      }
+      ScheduleRequest request;
+      try {
+        request = decode_schedule_request(frame->payload);
+      } catch (const codec::DecodeError& e) {
+        ScheduleResponse refusal;
+        refusal.status = ScheduleStatus::kError;
+        refusal.error = e.what();
+        count_response(refusal);
+        send_response(session, refusal);
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.received;
+      }
+      DLS_COUNT("serve.requests");
+      admit(std::move(request), session);
+    }
+  } catch (const TransportError&) {
+    // Peer vanished mid-frame; the connection is dead either way.
+  } catch (const codec::DecodeError&) {
+    // Unframeable garbage on the stream: stop reading. The client sees
+    // EOF for any request it still believes is in flight.
+    session->end.close();
+  }
+}
+
+void SchedulerService::admit(ScheduleRequest request, Session* session) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!stopping_ && queue_.size() < config_.queue_capacity) {
+      queue_.push_back(Pending{std::move(request),
+                               std::chrono::steady_clock::now(), session});
+      DLS_GAUGE_MAX("serve.queue_depth", static_cast<double>(queue_.size()));
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.admitted;
+      }
+      queue_cv_.notify_one();
+      return;
+    }
+  }
+  // Explicit backpressure: the client learns immediately and retries
+  // with backoff instead of waiting on a silently growing queue.
+  ScheduleResponse shed;
+  shed.request_id = request.request_id;
+  shed.status = ScheduleStatus::kShed;
+  count_response(shed);
+  send_response(session, shed);
+}
+
+void SchedulerService::dispatch_loop() {
+  std::vector<Pending> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
+      if (stopping_) break;
+      const std::size_t take = std::min(config_.max_batch, queue_.size());
+      batch.clear();
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    process_batch(batch);
+  }
+  // Drain on stop: everything still queued is answered, not dropped.
+  std::deque<Pending> rest;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    rest.swap(queue_);
+  }
+  for (const Pending& pending : rest) {
+    ScheduleResponse refusal;
+    refusal.request_id = pending.request.request_id;
+    refusal.status = ScheduleStatus::kError;
+    refusal.error = "service stopped before the request was served";
+    count_response(refusal);
+    send_response(pending.session, refusal);
+  }
+}
+
+void SchedulerService::process_batch(std::vector<Pending>& batch) {
+  DLS_SPAN_ARGS("serve.dispatch",
+                "{\"batch\":" + std::to_string(batch.size()) + "}");
+  DLS_OBSERVE("serve.batch_size", static_cast<double>(batch.size()),
+              {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  std::vector<ScheduleResponse> responses(batch.size());
+  pool_->parallel_for(batch.size(), [&](std::size_t i) {
+    responses[i] = handle(batch[i]);
+  });
+  // Responses are written serially, in admission order, after the
+  // parallel solve — frame writes are atomic either way, but serial
+  // writes keep per-connection response order deterministic.
+  const auto now = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    count_response(responses[i]);
+    if (responses[i].status == ScheduleStatus::kOk) {
+      DLS_OBSERVE("serve.request.latency_us",
+                  elapsed_us(batch[i].admitted_at, now),
+                  {10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0,
+                   5000.0, 10000.0, 20000.0, 50000.0, 100000.0, 1000000.0});
+    }
+    send_response(batch[i].session, responses[i]);
+  }
+}
+
+ScheduleResponse SchedulerService::handle(const Pending& pending) {
+  DLS_SPAN("serve.handle");
+  const ScheduleRequest& request = pending.request;
+  ScheduleResponse response;
+  response.request_id = request.request_id;
+
+  double deadline_us = request.options.deadline_us;
+  if (deadline_us <= 0.0) deadline_us = config_.default_deadline_us;
+  if (deadline_us > 0.0 &&
+      elapsed_us(pending.admitted_at, std::chrono::steady_clock::now()) >
+          deadline_us) {
+    response.status = ScheduleStatus::kExpired;
+    return response;
+  }
+
+  try {
+    const net::LinearNetwork network(request.w, request.z);
+    const codec::Bytes key = canonical_topology_key(request.w, request.z);
+    SolveCache::Value solution = cache_.lookup(key);
+    response.cache_hit = solution != nullptr;
+    if (!solution) {
+      auto solved = std::make_shared<dlt::LinearSolution>();
+      dlt::solve_linear_boundary_into(network, *solved,
+                                      /*want_steps=*/false);
+      solution = std::move(solved);
+      cache_.insert(key, solution);
+    }
+    response.alpha = solution->alpha;
+    response.makespan = solution->makespan;
+    if (request.options.want_payments) {
+      const core::DlsLblResult assessment = core::assess_compliant(
+          network, network.processing_times(), config_.mechanism);
+      response.payments.reserve(assessment.processors.size());
+      for (const core::Assessment& a : assessment.processors) {
+        response.payments.push_back(a.money.payment);
+      }
+      response.total_payment = assessment.total_payment;
+    }
+    response.status = ScheduleStatus::kOk;
+  } catch (const dls::Error& e) {
+    response = ScheduleResponse{};
+    response.request_id = request.request_id;
+    response.status = ScheduleStatus::kError;
+    response.error = e.what();
+  }
+  return response;
+}
+
+void SchedulerService::send_response(Session* session,
+                                     const ScheduleResponse& response) {
+  try {
+    write_frame(session->end,
+                Frame{FrameType::kScheduleResponse,
+                      encode_schedule_response(response)});
+  } catch (const TransportError&) {
+    // The client hung up before its answer arrived; nothing to do.
+  }
+}
+
+void SchedulerService::count_response(const ScheduleResponse& response) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    switch (response.status) {
+      case ScheduleStatus::kOk:
+        ++stats_.ok;
+        break;
+      case ScheduleStatus::kShed:
+        ++stats_.shed;
+        break;
+      case ScheduleStatus::kExpired:
+        ++stats_.expired;
+        break;
+      case ScheduleStatus::kError:
+        ++stats_.errors;
+        break;
+    }
+  }
+  switch (response.status) {
+    case ScheduleStatus::kOk:
+      DLS_COUNT("serve.responses.ok");
+      break;
+    case ScheduleStatus::kShed:
+      DLS_COUNT("serve.responses.shed");
+      break;
+    case ScheduleStatus::kExpired:
+      DLS_COUNT("serve.responses.expired");
+      break;
+    case ScheduleStatus::kError:
+      DLS_COUNT("serve.responses.error");
+      break;
+  }
+}
+
+}  // namespace dls::serve

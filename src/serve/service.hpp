@@ -1,0 +1,146 @@
+// The scheduling service: concurrent DLS-LBL sessions behind a framed
+// transport, with admission control, per-request deadlines and a solve
+// cache.
+//
+// Shape (mirroring a BOINC-style scheduler front-end):
+//
+//   client ──Pipe── session reader ──bounded queue── dispatcher ── pool
+//                       │                 │               │
+//                       │ shed when full  │ expire past   │ batch solve
+//                       ▼                 ▼ deadline      ▼ via cache
+//                    responses written back on the request's connection
+//
+//  * connect() hands out one end of a fresh Pipe; a per-connection
+//    reader thread decodes ScheduleRequest frames and performs
+//    admission *synchronously*: when the shared bounded queue is full
+//    the request is answered kShed immediately — backpressure is an
+//    explicit response, never a silent stall.
+//  * A dispatcher thread drains the queue in batches of at most
+//    `max_batch` and solves them concurrently on the exec::ThreadPool
+//    (the same work-stealing pool the sweep engine uses).
+//  * Before solving, each request's deadline (admission-relative,
+//    microseconds) is checked; an expired request is answered kExpired
+//    without touching the solver. Clients pair deadlines with the
+//    recovery layer's probe-backoff policy for retries (see client.hpp).
+//  * Solutions are memoised in a SolveCache keyed by the canonical
+//    (w, z) bytes; cached responses are bit-identical to fresh ones.
+//
+// Metrics (serve.*): requests, responses.{ok,shed,expired,error}, and
+// friends — catalogued in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/dls_lbl.hpp"
+#include "exec/thread_pool.hpp"
+#include "serve/cache.hpp"
+#include "serve/pipe.hpp"
+#include "serve/service_wire.hpp"
+
+namespace dls::serve {
+
+struct ServiceConfig {
+  /// Admission bound: requests beyond this many queued are shed.
+  std::size_t queue_capacity = 64;
+  /// Requests solved per dispatcher wake-up (concurrently, on the pool).
+  std::size_t max_batch = 8;
+  /// Solve-cache capacity in resident solutions; 0 disables caching.
+  std::size_t cache_capacity = 256;
+  /// Deadline applied to requests that carry none; 0 = no deadline.
+  double default_deadline_us = 0.0;
+  /// Payment arithmetic for want_payments requests.
+  core::MechanismConfig mechanism;
+  /// Start with the dispatcher held: requests are admitted (or shed)
+  /// but nothing is solved until resume(). Tests use this to provoke
+  /// deterministic queue-full and deadline-expiry behaviour.
+  bool start_paused = false;
+};
+
+/// Transport-independent response counts (kept regardless of whether
+/// the obs runtime switch is on).
+struct ServiceStats {
+  std::uint64_t received = 0;  ///< well-formed requests read off the wire
+  std::uint64_t admitted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t errors = 0;
+};
+
+class SchedulerService {
+ public:
+  /// `pool` defaults to exec::ThreadPool::global().
+  explicit SchedulerService(ServiceConfig config,
+                            exec::ThreadPool* pool = nullptr);
+  ~SchedulerService();
+
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  /// Opens a connection and returns the client end. Each connection is
+  /// served by its own reader thread until the client closes or the
+  /// service stops.
+  PipeEnd connect();
+
+  /// Holds / releases the dispatcher. Admission keeps running while
+  /// paused, so the queue fills and sheds deterministically.
+  void pause();
+  void resume();
+
+  /// Answers everything still queued with kError, closes every
+  /// connection and joins all threads. Idempotent; the destructor
+  /// calls it.
+  void stop();
+
+  ServiceStats stats() const;
+  const SolveCache& cache() const noexcept { return cache_; }
+
+ private:
+  struct Session {
+    PipeEnd end;  ///< server side of the connection
+    std::thread reader;
+  };
+  struct Pending {
+    ScheduleRequest request;
+    std::chrono::steady_clock::time_point admitted_at;
+    Session* session = nullptr;
+  };
+
+  void session_loop(Session* session);
+  void admit(ScheduleRequest request, Session* session);
+  void dispatch_loop();
+  void process_batch(std::vector<Pending>& batch);
+  /// Solves (or refuses) one admitted request; pure apart from cache
+  /// and metric updates, so batch items run concurrently on the pool.
+  ScheduleResponse handle(const Pending& pending);
+  void send_response(Session* session, const ScheduleResponse& response);
+  void count_response(const ScheduleResponse& response);
+
+  ServiceConfig config_;
+  exec::ThreadPool* pool_;
+  SolveCache cache_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool paused_ = false;
+  bool stopping_ = false;
+
+  mutable std::mutex sessions_mutex_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  bool accepting_ = true;
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace dls::serve

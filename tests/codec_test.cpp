@@ -79,6 +79,37 @@ TEST(Codec, DoubleRoundtripPreservesBits) {
   EXPECT_TRUE(std::isnan(r.f64()));
 }
 
+TEST(Codec, F64ArrayMatchesPerElementEncoding) {
+  const double values[] = {0.0, -0.0, 1.5, -3.25e-200,
+                           std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::denorm_min()};
+  Writer bulk;
+  bulk.f64_array(values);
+  Writer scalar;
+  for (const double v : values) scalar.f64(v);
+  EXPECT_EQ(bulk.data(), scalar.data());
+
+  double back[std::size(values)] = {};
+  Reader r(bulk.data());
+  r.f64_array(back);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(std::memcmp(back, values, sizeof values), 0);
+}
+
+TEST(Codec, F64ArrayEmptyAndTruncated) {
+  Writer w;
+  w.f64_array({});
+  EXPECT_EQ(w.size(), 0u);
+
+  w.f64(1.0);
+  Reader r(w.data());
+  double out[2] = {};
+  EXPECT_THROW(r.f64_array(out), DecodeError);
+  // A failed bulk read consumes nothing.
+  EXPECT_EQ(r.remaining(), sizeof(double));
+}
+
 TEST(Codec, StringAndBytesRoundtrip) {
   Writer w;
   w.string("hello");

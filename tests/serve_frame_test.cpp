@@ -1,0 +1,215 @@
+// Transport-layer tests for the scheduling service: Pipe semantics
+// (ordering, atomic writes, close/EOF discipline) and the framing codec
+// (identity round trips, strict rejection of truncation, trailing
+// bytes, bad magic/version/type and oversized lengths) — both on flat
+// buffers and across a live PipeEnd.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "codec/bytes.hpp"
+#include "serve/frame.hpp"
+#include "serve/pipe.hpp"
+
+namespace {
+
+using dls::codec::Bytes;
+using dls::codec::DecodeError;
+using dls::serve::Frame;
+using dls::serve::FrameType;
+using dls::serve::kFrameHeaderSize;
+using dls::serve::make_pipe;
+using dls::serve::Pipe;
+using dls::serve::PipeEnd;
+using dls::serve::TransportError;
+
+Bytes bytes_of(std::initializer_list<int> values) {
+  Bytes out;
+  for (const int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+TEST(PipeTest, BytesArriveInOrder) {
+  Pipe pipe = make_pipe();
+  pipe.a.write(bytes_of({1, 2, 3}));
+  pipe.a.write(bytes_of({4, 5}));
+  Bytes got(5);
+  ASSERT_TRUE(pipe.b.read_exact(got));
+  EXPECT_EQ(got, bytes_of({1, 2, 3, 4, 5}));
+}
+
+TEST(PipeTest, ReadBlocksUntilDataArrives) {
+  Pipe pipe = make_pipe();
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    pipe.a.write(bytes_of({42}));
+  });
+  Bytes got(1);
+  ASSERT_TRUE(pipe.b.read_exact(got));
+  EXPECT_EQ(got[0], 42);
+  writer.join();
+}
+
+TEST(PipeTest, CleanCloseDrainsThenReportsEof) {
+  Pipe pipe = make_pipe();
+  pipe.a.write(bytes_of({7, 8}));
+  pipe.a.close();
+  Bytes got(2);
+  ASSERT_TRUE(pipe.b.read_exact(got));  // buffered bytes still readable
+  EXPECT_EQ(got, bytes_of({7, 8}));
+  EXPECT_FALSE(pipe.b.read_exact(got));  // then clean EOF
+}
+
+TEST(PipeTest, CloseMidReadThrowsTransportError) {
+  Pipe pipe = make_pipe();
+  pipe.a.write(bytes_of({1}));
+  pipe.a.close();
+  Bytes got(2);  // more than was ever written: a torn read
+  EXPECT_THROW(pipe.b.read_exact(got), TransportError);
+}
+
+TEST(PipeTest, WriteAfterPeerCloseThrows) {
+  Pipe pipe = make_pipe();
+  pipe.b.close();
+  EXPECT_THROW(pipe.a.write(bytes_of({1})), TransportError);
+}
+
+TEST(PipeTest, DroppedEndUnblocksPeer) {
+  Pipe pipe = make_pipe();
+  std::thread dropper([end = std::move(pipe.a)]() mutable {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    // `end` destroyed here — the peer's blocked read must wake with EOF.
+  });
+  Bytes got(1);
+  EXPECT_FALSE(pipe.b.read_exact(got));
+  dropper.join();
+}
+
+TEST(PipeTest, ConcurrentWritesStayAtomic) {
+  // Two writers blast distinct fixed-size records through one end; the
+  // reader must see every record intact (never interleaved bytes).
+  Pipe pipe = make_pipe();
+  constexpr int kRecords = 200;
+  constexpr std::size_t kSize = 64;
+  auto writer = [&](std::uint8_t tag) {
+    for (int i = 0; i < kRecords; ++i) {
+      Bytes record(kSize, tag);
+      pipe.a.write(record);
+    }
+  };
+  std::thread w1(writer, std::uint8_t{0xAA});
+  std::thread w2(writer, std::uint8_t{0x55});
+  int seen_a = 0, seen_b = 0;
+  for (int i = 0; i < 2 * kRecords; ++i) {
+    Bytes record(kSize);
+    ASSERT_TRUE(pipe.b.read_exact(record));
+    const std::uint8_t tag = record[0];
+    for (const std::uint8_t byte : record) {
+      ASSERT_EQ(byte, tag) << "interleaved write detected";
+    }
+    (tag == 0xAA ? seen_a : seen_b)++;
+  }
+  w1.join();
+  w2.join();
+  EXPECT_EQ(seen_a, kRecords);
+  EXPECT_EQ(seen_b, kRecords);
+}
+
+TEST(FrameTest, EncodeDecodeIdentityForEveryType) {
+  for (const FrameType type :
+       {FrameType::kScheduleRequest, FrameType::kScheduleResponse,
+        FrameType::kBid, FrameType::kAllocation, FrameType::kReport,
+        FrameType::kPayment}) {
+    Frame frame{type, bytes_of({1, 2, 3, 4, 5})};
+    const Frame decoded = dls::serve::decode_frame(
+        dls::serve::encode_frame(frame));
+    EXPECT_EQ(decoded.type, type);
+    EXPECT_EQ(decoded.payload, frame.payload);
+  }
+  // Empty payloads are legal frames too.
+  const Frame empty = dls::serve::decode_frame(
+      dls::serve::encode_frame(Frame{FrameType::kBid, {}}));
+  EXPECT_TRUE(empty.payload.empty());
+}
+
+TEST(FrameTest, EveryTruncationPrefixIsRejected) {
+  const Bytes wire = dls::serve::encode_frame(
+      Frame{FrameType::kScheduleRequest, bytes_of({9, 8, 7})});
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_THROW(dls::serve::decode_frame(std::span(wire.data(), len)),
+                 DecodeError)
+        << "frame prefix of " << len << " bytes accepted";
+  }
+}
+
+TEST(FrameTest, TrailingBytesAreRejected) {
+  Bytes wire = dls::serve::encode_frame(
+      Frame{FrameType::kScheduleRequest, bytes_of({1})});
+  wire.push_back(0x00);
+  EXPECT_THROW(dls::serve::decode_frame(wire), DecodeError);
+}
+
+TEST(FrameTest, BadMagicVersionTypeAndLengthAreRejected) {
+  const Bytes good = dls::serve::encode_frame(
+      Frame{FrameType::kScheduleRequest, bytes_of({1, 2})});
+
+  Bytes bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(dls::serve::decode_frame(bad_magic), DecodeError);
+
+  Bytes bad_version = good;
+  bad_version[4] = 0x7F;
+  EXPECT_THROW(dls::serve::decode_frame(bad_version), DecodeError);
+
+  Bytes bad_type = good;
+  bad_type[5] = 0;  // below the FrameType range
+  EXPECT_THROW(dls::serve::decode_frame(bad_type), DecodeError);
+  bad_type[5] = 200;  // above it
+  EXPECT_THROW(dls::serve::decode_frame(bad_type), DecodeError);
+
+  Bytes bad_length = good;
+  bad_length[9] = 0xFF;  // announces a payload far beyond the cap
+  EXPECT_THROW(dls::serve::decode_frame(bad_length), DecodeError);
+}
+
+TEST(FrameTest, RoundTripsAcrossPipe) {
+  Pipe pipe = make_pipe();
+  const Frame sent{FrameType::kReport, bytes_of({10, 20, 30})};
+  dls::serve::write_frame(pipe.a, sent);
+  const std::optional<Frame> got = dls::serve::read_frame(pipe.b);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, sent.type);
+  EXPECT_EQ(got->payload, sent.payload);
+}
+
+TEST(FrameTest, CleanEofBetweenFramesIsNullopt) {
+  Pipe pipe = make_pipe();
+  dls::serve::write_frame(pipe.a, Frame{FrameType::kBid, bytes_of({1})});
+  pipe.a.close();
+  EXPECT_TRUE(dls::serve::read_frame(pipe.b).has_value());
+  EXPECT_FALSE(dls::serve::read_frame(pipe.b).has_value());
+}
+
+TEST(FrameTest, EofInsideFrameIsTransportError) {
+  Pipe pipe = make_pipe();
+  const Bytes wire = dls::serve::encode_frame(
+      Frame{FrameType::kBid, bytes_of({1, 2, 3, 4})});
+  // Send the header plus part of the payload, then hang up.
+  pipe.a.write(std::span(wire.data(), kFrameHeaderSize + 2));
+  pipe.a.close();
+  EXPECT_THROW(dls::serve::read_frame(pipe.b), TransportError);
+}
+
+TEST(FrameTest, MalformedHeaderOnStreamIsDecodeError) {
+  Pipe pipe = make_pipe();
+  Bytes wire = dls::serve::encode_frame(
+      Frame{FrameType::kBid, bytes_of({1})});
+  wire[0] ^= 0xFF;  // corrupt the magic
+  pipe.a.write(wire);
+  EXPECT_THROW(dls::serve::read_frame(pipe.b), DecodeError);
+}
+
+}  // namespace

@@ -28,6 +28,8 @@ using dls::crypto::KeyRegistry;
 using dls::crypto::SignedClaim;
 using dls::protocol::AllocationMessage;
 using dls::protocol::BidMessage;
+using dls::protocol::PaymentMessage;
+using dls::protocol::ReportMessage;
 
 constexpr ClaimKind kAllKinds[] = {
     ClaimKind::kEquivalentBid, ClaimKind::kReceivedLoad,
@@ -66,6 +68,25 @@ struct Fixture {
     g.rate_bid_pred = random_claim();
     g.equiv_bid_self = random_claim();
     return g;
+  }
+
+  ReportMessage random_report() {
+    ReportMessage r;
+    r.metered_rate = random_claim();
+    r.token_count = random_claim();
+    return r;
+  }
+
+  PaymentMessage random_payment() {
+    PaymentMessage p;
+    p.processor = static_cast<std::uint32_t>(rng.uniform_int(0, 64));
+    p.round = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 20));
+    p.compensation = rng.uniform(0.0, 10.0);
+    p.bonus = rng.uniform(0.0, 5.0);
+    p.solution_bonus = rng.uniform(0.0, 1.0);
+    p.payment = p.compensation + p.bonus + p.solution_bonus;
+    p.metered_rate = random_claim();
+    return p;
   }
 };
 
@@ -120,6 +141,38 @@ TEST(WireRoundTrip, AllocationMessageIdentity) {
   }
 }
 
+TEST(WireRoundTrip, ReportMessageIdentity) {
+  Fixture fx;
+  for (int iter = 0; iter < 100; ++iter) {
+    const ReportMessage original = fx.random_report();
+    const ReportMessage decoded = dls::protocol::decode_report_message(
+        dls::protocol::encode_report_message(original));
+    EXPECT_EQ(decoded.metered_rate, original.metered_rate);
+    EXPECT_EQ(decoded.token_count, original.token_count);
+    // Both embedded claims stay verifiable after the trip.
+    EXPECT_TRUE(dls::crypto::verify(fx.registry, decoded.metered_rate));
+    EXPECT_TRUE(dls::crypto::verify(fx.registry, decoded.token_count));
+  }
+}
+
+TEST(WireRoundTrip, PaymentMessageIdentity) {
+  Fixture fx;
+  for (int iter = 0; iter < 100; ++iter) {
+    const PaymentMessage original = fx.random_payment();
+    const PaymentMessage decoded = dls::protocol::decode_payment_message(
+        dls::protocol::encode_payment_message(original));
+    EXPECT_EQ(decoded.processor, original.processor);
+    EXPECT_EQ(decoded.round, original.round);
+    // Bit-exact doubles: the wire carries IEEE-754 bit patterns.
+    EXPECT_EQ(decoded.compensation, original.compensation);
+    EXPECT_EQ(decoded.bonus, original.bonus);
+    EXPECT_EQ(decoded.solution_bonus, original.solution_bonus);
+    EXPECT_EQ(decoded.payment, original.payment);
+    EXPECT_EQ(decoded.metered_rate, original.metered_rate);
+    EXPECT_TRUE(dls::crypto::verify(fx.registry, decoded.metered_rate));
+  }
+}
+
 TEST(WireRoundTrip, EveryTruncationPrefixIsRejected) {
   Fixture fx;
   const Bytes claim_wire = dls::protocol::encode_signed_claim(
@@ -147,6 +200,23 @@ TEST(WireRoundTrip, EveryTruncationPrefixIsRejected) {
                  DecodeError)
         << "allocation prefix of " << len << " bytes accepted";
   }
+
+  const Bytes report_wire =
+      dls::protocol::encode_report_message(fx.random_report());
+  for (std::size_t len = 0; len < report_wire.size(); ++len) {
+    EXPECT_THROW(dls::protocol::decode_report_message(
+                     std::span(report_wire.data(), len)),
+                 DecodeError)
+        << "report prefix of " << len << " bytes accepted";
+  }
+  const Bytes payment_wire =
+      dls::protocol::encode_payment_message(fx.random_payment());
+  for (std::size_t len = 0; len < payment_wire.size(); ++len) {
+    EXPECT_THROW(dls::protocol::decode_payment_message(
+                     std::span(payment_wire.data(), len)),
+                 DecodeError)
+        << "payment prefix of " << len << " bytes accepted";
+  }
 }
 
 TEST(WireRoundTrip, TrailingBytesAreRejected) {
@@ -164,6 +234,14 @@ TEST(WireRoundTrip, TrailingBytesAreRejected) {
       fx.random_allocation());
   alloc.push_back(0x42);
   EXPECT_THROW(dls::protocol::decode_allocation_message(alloc), DecodeError);
+
+  Bytes report = dls::protocol::encode_report_message(fx.random_report());
+  report.push_back(0x01);
+  EXPECT_THROW(dls::protocol::decode_report_message(report), DecodeError);
+
+  Bytes payment = dls::protocol::encode_payment_message(fx.random_payment());
+  payment.push_back(0x7f);
+  EXPECT_THROW(dls::protocol::decode_payment_message(payment), DecodeError);
 }
 
 TEST(WireRoundTrip, WrongMagicIsRejected) {
@@ -177,6 +255,16 @@ TEST(WireRoundTrip, WrongMagicIsRejected) {
   const Bytes bid_wire = dls::protocol::encode_bid_message(
       BidMessage{fx.random_claim()});
   EXPECT_THROW(dls::protocol::decode_signed_claim(bid_wire), DecodeError);
+  // Phase III/IV frames are equally picky about each other's magic.
+  const Bytes report_wire =
+      dls::protocol::encode_report_message(fx.random_report());
+  EXPECT_THROW(dls::protocol::decode_payment_message(report_wire),
+               DecodeError);
+  const Bytes payment_wire =
+      dls::protocol::encode_payment_message(fx.random_payment());
+  EXPECT_THROW(dls::protocol::decode_report_message(payment_wire),
+               DecodeError);
+  EXPECT_THROW(dls::protocol::decode_bid_message(report_wire), DecodeError);
 }
 
 TEST(WireRoundTrip, SingleByteCorruptionNeverAcceptedAsAuthentic) {
@@ -235,6 +323,16 @@ TEST(WireRoundTrip, RandomGarbageNeverCrashes) {
     decodes_cleanly(
         [](std::span<const std::uint8_t> d) {
           return dls::protocol::decode_allocation_message(d);
+        },
+        garbage);
+    decodes_cleanly(
+        [](std::span<const std::uint8_t> d) {
+          return dls::protocol::decode_report_message(d);
+        },
+        garbage);
+    decodes_cleanly(
+        [](std::span<const std::uint8_t> d) {
+          return dls::protocol::decode_payment_message(d);
         },
         garbage);
   }
