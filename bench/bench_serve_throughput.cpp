@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -27,7 +28,9 @@
 #include "common/stats.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace_export.hpp"
+#include "serve/chaos.hpp"
 #include "serve/client.hpp"
+#include "serve/retry.hpp"
 #include "serve/service.hpp"
 
 namespace {
@@ -196,6 +199,103 @@ void bm_serve_cache_speedup(benchmark::State& state) {
   cold.stop();
 }
 BENCHMARK(bm_serve_cache_speedup)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Chaos resilience: the robust client under 50% silent-disconnect
+// chaos (every request frame has a coin-flip chance of vanishing with
+// its connection). Arg(0) retries without a circuit breaker, Arg(1)
+// with one. items/sec is landed answers; wire_attempts_per_s is the
+// resend traffic actually put on the wire — the figure the breaker
+// exists to cap during a failure storm (open windows pause sending
+// instead of hammering a broken path).
+void bm_serve_chaos(benchmark::State& state) {
+  const bool use_breaker = state.range(0) == 1;
+  const std::vector<Topology> topos = make_topologies(kTopologies, kChain);
+
+  dls::serve::ServiceConfig config;
+  config.queue_capacity = 8;
+  config.cache_capacity = kTopologies;
+  dls::serve::SchedulerService service(config);
+
+  dls::serve::ChaosConfig chaos;
+  chaos.disconnect = 0.5;
+
+  constexpr std::size_t kClients = 2;
+  constexpr int kChaosRequests = 32;
+  std::uint64_t attempts = 0;
+  std::uint64_t rejections = 0;
+  std::uint64_t landed = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t round = 0;
+  std::mutex tally_mutex;
+  for (auto _ : state) {
+    ++round;
+    std::vector<std::thread> crew;
+    crew.reserve(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+      crew.emplace_back([&, c] {
+        const std::uint64_t seed = round * 1000003ull + c * 7919ull;
+        std::uint64_t connection = 0;
+        const auto connect = [&]() -> std::unique_ptr<dls::serve::Transport> {
+          ++connection;
+          return std::make_unique<dls::serve::ChaosTransport>(
+              service.connect(), chaos,
+              seed ^ (connection * 0x9e3779b97f4a7c15ull));
+        };
+        dls::serve::CircuitBreaker breaker(dls::serve::BreakerConfig{
+            /*failure_threshold=*/3,
+            /*open_cooldown_s=*/0.001,
+            /*half_open_probes=*/1,
+        });
+        dls::serve::SchedulerClient client(connect());
+        dls::serve::RobustOptions options;
+        options.policy.base_delay_s = 0.0001;
+        options.policy.max_delay_s = 0.002;
+        options.policy.max_attempts = 64;
+        options.policy.attempt_deadline_s = 0.1;
+        options.breaker = use_breaker ? &breaker : nullptr;
+        options.reconnect = connect;
+        options.seed = seed + 1;
+        std::uint64_t my_attempts = 0, my_rejections = 0;
+        std::uint64_t my_landed = 0, my_reconnects = 0;
+        for (int i = 0; i < kChaosRequests; ++i) {
+          const Topology& topo =
+              topos[(c + static_cast<std::size_t>(i)) % topos.size()];
+          const dls::serve::RobustResult result = client.schedule_robust(
+              topo.w, topo.z, dls::serve::ScheduleOptions{}, options);
+          my_attempts += result.stats.attempts;
+          my_rejections += result.stats.breaker_rejections;
+          my_reconnects += result.stats.reconnects;
+          if (result.outcome == dls::serve::RobustOutcome::kAnswered &&
+              result.response.status == dls::serve::ScheduleStatus::kOk) {
+            ++my_landed;
+          }
+        }
+        client.close();
+        std::lock_guard<std::mutex> lock(tally_mutex);
+        attempts += my_attempts;
+        rejections += my_rejections;
+        landed += my_landed;
+        reconnects += my_reconnects;
+      });
+    }
+    for (std::thread& t : crew) t.join();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(landed));
+  state.counters["wire_attempts_per_s"] = benchmark::Counter(
+      static_cast<double>(attempts), benchmark::Counter::kIsRate);
+  state.counters["attempts_per_ok"] =
+      landed > 0 ? static_cast<double>(attempts) /
+                       static_cast<double>(landed)
+                 : 0.0;
+  state.counters["reconnects_per_ok"] =
+      landed > 0 ? static_cast<double>(reconnects) /
+                       static_cast<double>(landed)
+                 : 0.0;
+  state.counters["breaker_rejections"] = static_cast<double>(rejections);
+  service.stop();
+}
+BENCHMARK(bm_serve_chaos)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace

@@ -1,0 +1,135 @@
+// Chaos drill: the robust client surviving a hostile wire. A
+// SchedulerService is reached only through a ChaosTransport that drops,
+// truncates, corrupts, delays and duplicates frames; schedule_robust
+// retries with decorrelated-jitter backoff behind a circuit breaker and
+// a reconnect hook, and every answer that lands is checked bit-for-bit
+// against a fault-free solve. The drill then pushes the fault rate to
+// the point where budgets exhaust, showing the typed kBudgetExhausted
+// report instead of a hang.
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "dlt/linear.hpp"
+#include "net/networks.hpp"
+#include "serve/chaos.hpp"
+#include "serve/client.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+/// One drill pass: `requests` robust round trips through `chaos`,
+/// verifying every kOk answer against the direct solver. Returns true
+/// when every landed answer was bit-identical.
+bool drill(dls::serve::SchedulerService& service, const char* label,
+           const dls::serve::ChaosConfig& chaos,
+           const dls::serve::RetryPolicy& policy, int requests) {
+  const std::vector<double> w = {1.0, 1.2, 0.9, 1.1};
+  const std::vector<double> z = {0.15, 0.1, 0.2};
+  const dls::net::LinearNetwork network(w, z);
+  dls::dlt::LinearSolution truth;
+  dls::dlt::solve_linear_boundary_into(network, truth, /*want_steps=*/false);
+
+  std::uint64_t connection = 0;
+  const auto connect = [&]() -> std::unique_ptr<dls::serve::Transport> {
+    ++connection;
+    return std::make_unique<dls::serve::ChaosTransport>(
+        service.connect(), chaos, 0xd121 + connection);
+  };
+
+  dls::serve::CircuitBreaker breaker(dls::serve::BreakerConfig{
+      /*failure_threshold=*/3,
+      /*open_cooldown_s=*/0.005,
+      /*half_open_probes=*/1,
+  });
+  dls::serve::SchedulerClient client(connect());
+  dls::serve::RobustOptions options;
+  options.policy = policy;
+  options.breaker = &breaker;
+  options.reconnect = connect;
+  options.seed = 42;
+
+  int landed = 0, refused = 0, exhausted = 0, divergent = 0;
+  std::uint64_t attempts = 0, wire_errors = 0, rejections = 0;
+  for (int i = 0; i < requests; ++i) {
+    const dls::serve::RobustResult result =
+        client.schedule_robust(w, z, {}, options);
+    attempts += result.stats.attempts;
+    wire_errors += result.stats.wire_errors;
+    rejections += result.stats.breaker_rejections;
+    if (result.outcome == dls::serve::RobustOutcome::kBudgetExhausted) {
+      ++exhausted;
+    } else if (result.response.status != dls::serve::ScheduleStatus::kOk) {
+      ++refused;
+    } else {
+      ++landed;
+      if (result.response.alpha != truth.alpha ||
+          result.response.makespan != truth.makespan) {
+        ++divergent;
+      }
+    }
+  }
+  client.close();
+
+  std::printf(
+      "%-18s landed=%-3d refused=%-2d exhausted=%-3d divergent=%d\n"
+      "%-18s attempts=%" PRIu64 " wire_errors=%" PRIu64
+      " breaker_rejections=%" PRIu64 " reconnects=%" PRIu64 "\n",
+      label, landed, refused, exhausted, divergent, "", attempts,
+      wire_errors, rejections, connection - 1);
+  return divergent == 0;
+}
+
+}  // namespace
+
+int main() {
+  dls::serve::ServiceConfig config;
+  config.queue_capacity = 8;
+  config.cache_capacity = 16;
+  dls::serve::SchedulerService service(config);
+
+  std::printf("=== chaos_drill: robust client vs a hostile wire ===\n\n");
+
+  dls::serve::RetryPolicy policy;
+  policy.base_delay_s = 0.0005;
+  policy.max_delay_s = 0.01;
+  policy.max_attempts = 16;
+  policy.attempt_deadline_s = 0.25;
+
+  // A storm of every fault kind at once: frames vanish, tear, flip bits,
+  // stall and double up — yet every answer that lands is exact.
+  dls::serve::ChaosConfig storm;
+  storm.partial_write = 0.2;
+  storm.truncate = 0.1;
+  storm.corrupt = 0.15;
+  storm.delay = 0.15;
+  storm.disconnect = 0.15;
+  storm.duplicate = 0.2;
+  storm.read_corrupt = 0.05;
+  const bool storm_exact = drill(service, "fault storm:", storm, policy, 64);
+
+  // Crank the loss so high that some retry budgets run out: the client
+  // reports kBudgetExhausted — a typed outcome, never a hang.
+  dls::serve::ChaosConfig brutal;
+  brutal.disconnect = 0.85;
+  dls::serve::RetryPolicy tight = policy;
+  tight.max_attempts = 3;
+  const bool brutal_exact = drill(service, "\nbudget squeeze:", brutal,
+                                  tight, 32);
+
+  const dls::serve::ServiceStats stats = service.stats();
+  std::printf(
+      "\n--- service counters ---\n"
+      "received=%" PRIu64 " ok=%" PRIu64 " shed=%" PRIu64
+      " degraded=%" PRIu64 " poison_frames=%" PRIu64
+      " quarantined=%" PRIu64 "\n",
+      stats.received, stats.ok, stats.shed, stats.degraded,
+      stats.poison_frames, stats.quarantined);
+
+  const bool exact = storm_exact && brutal_exact;
+  std::printf("every landed answer bit-identical: %s\n",
+              exact ? "yes" : "NO (bug)");
+  service.stop();
+  return exact ? 0 : 1;
+}

@@ -32,6 +32,7 @@ void Writer::varint(std::uint64_t v) {
 void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
 
 void Writer::f64_array(std::span<const double> values) {
+  if (values.empty()) return;
   if constexpr (std::endian::native == std::endian::little) {
     // A double's object representation already is its little-endian
     // IEEE-754 bit pattern here, so the canonical encoding is a single
@@ -109,6 +110,9 @@ std::uint64_t Reader::varint() {
 double Reader::f64() { return std::bit_cast<double>(u64()); }
 
 void Reader::f64_array(std::span<double> out) {
+  // An empty span may carry a null data() (e.g. a default vector); the
+  // bulk memcpy below is declared nonnull even for a zero-byte copy.
+  if (out.empty()) return;
   need(out.size() * sizeof(double));
   if constexpr (std::endian::native == std::endian::little) {
     std::memcpy(out.data(), data_.data() + pos_,

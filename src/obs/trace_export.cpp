@@ -28,6 +28,29 @@ double to_micros(std::uint64_t ns) {
   return static_cast<double>(ns) / 1000.0;
 }
 
+/// One trace-event line for a track's process-name metadata.
+std::string chrome_track_metadata(Track track) {
+  return "{\"ph\":\"M\",\"pid\":" +
+         std::to_string(static_cast<unsigned>(track)) +
+         ",\"name\":\"process_name\",\"args\":{\"name\":" +
+         json_string(track_name(track)) + "}}";
+}
+
+/// One complete ("X" phase) trace-event line; shared by the batch and
+/// streaming writers so both emit byte-identical events.
+std::string chrome_event_line(const SpanEvent& e) {
+  std::string line = "{\"name\":" + json_string(e.name) +
+                     ",\"ph\":\"X\",\"pid\":" +
+                     std::to_string(static_cast<unsigned>(e.track)) +
+                     ",\"tid\":" + std::to_string(e.thread) +
+                     ",\"ts\":" + json_micros(to_micros(e.start_ns)) +
+                     ",\"dur\":" +
+                     json_micros(to_micros(e.end_ns - e.start_ns));
+  if (!e.args.empty()) line += ",\"args\":" + e.args;
+  line += '}';
+  return line;
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& out, std::span<const SpanEvent> events,
@@ -48,26 +71,49 @@ void write_chrome_trace(std::ostream& out, std::span<const SpanEvent> events,
   // Process-name metadata for every track that actually has events.
   std::set<Track> tracks;
   for (const SpanEvent& e : events) tracks.insert(e.track);
-  for (const Track track : tracks) {
-    emit("{\"ph\":\"M\",\"pid\":" +
-         std::to_string(static_cast<unsigned>(track)) +
-         ",\"name\":\"process_name\",\"args\":{\"name\":" +
-         json_string(track_name(track)) + "}}");
-  }
+  for (const Track track : tracks) emit(chrome_track_metadata(track));
 
-  for (const SpanEvent& e : events) {
-    std::string line = "{\"name\":" + json_string(e.name) +
-                       ",\"ph\":\"X\",\"pid\":" +
-                       std::to_string(static_cast<unsigned>(e.track)) +
-                       ",\"tid\":" + std::to_string(e.thread) +
-                       ",\"ts\":" + json_micros(to_micros(e.start_ns)) +
-                       ",\"dur\":" +
-                       json_micros(to_micros(e.end_ns - e.start_ns));
-    if (!e.args.empty()) line += ",\"args\":" + e.args;
-    line += '}';
-    emit(line);
-  }
+  for (const SpanEvent& e : events) emit(chrome_event_line(e));
   out << "\n]}\n";
+}
+
+StreamingChromeTrace::StreamingChromeTrace(std::ostream& out) : out_(out) {
+  out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+}
+
+StreamingChromeTrace::~StreamingChromeTrace() {
+  if (!finished_) finish(nullptr);
+}
+
+void StreamingChromeTrace::emit(const std::string& line) {
+  if (!first_) out_ << ",\n";
+  first_ = false;
+  out_ << line;
+}
+
+void StreamingChromeTrace::append(std::span<const SpanEvent> events) {
+  for (const SpanEvent& e : events) {
+    if (seen_tracks_.insert(e.track).second) {
+      emit(chrome_track_metadata(e.track));
+    }
+    emit(chrome_event_line(e));
+  }
+}
+
+std::size_t StreamingChromeTrace::drain_global() {
+  const std::vector<SpanEvent> events = TraceSink::global().drain();
+  append(events);
+  return events.size();
+}
+
+void StreamingChromeTrace::finish(const MetricsSnapshot* metrics) {
+  if (finished_) return;
+  finished_ = true;
+  out_ << "\n]";
+  if (metrics != nullptr) {
+    out_ << ",\"otherData\":{\"metrics\":" << metrics->to_json() << "}";
+  }
+  out_ << "}\n";
 }
 
 void write_jsonl(std::ostream& out, std::span<const SpanEvent> events) {

@@ -13,6 +13,13 @@
 
 namespace dls::protocol {
 
+double exponential_backoff(double base, double factor, std::size_t attempt,
+                           double cap) noexcept {
+  double wait = base;
+  for (std::size_t r = 0; r < attempt; ++r) wait *= factor;
+  return std::min(wait, cap);
+}
+
 std::string to_string(UnderComputeVerdict verdict) {
   switch (verdict) {
     case UnderComputeVerdict::kCompliant: return "compliant";
@@ -63,9 +70,8 @@ struct Monitor {
   }
 
   double backoff(std::size_t attempt) const {
-    double wait = cfg.timeout;
-    for (std::size_t r = 0; r < attempt; ++r) wait *= cfg.backoff_factor;
-    return std::min(wait, cfg.max_backoff);
+    return exponential_backoff(cfg.timeout, cfg.backoff_factor, attempt,
+                               cfg.max_backoff);
   }
 
   void arm_deadline(sim::Simulator& sim) {

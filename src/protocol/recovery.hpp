@@ -46,6 +46,13 @@
 
 namespace dls::protocol {
 
+/// Shared backoff core: min(base * factor^attempt, cap), computed by
+/// repeated multiplication so every retry loop in the codebase (the
+/// probe monitor here, the serve layer's RetryPolicy) produces
+/// bit-identical waits for the same knobs.
+double exponential_backoff(double base, double factor, std::size_t attempt,
+                           double cap) noexcept;
+
 /// Heartbeat / probe timing knobs (all in simulation time units).
 struct HeartbeatConfig {
   double period = 0.05;        ///< worker heartbeat interval

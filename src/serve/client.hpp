@@ -2,28 +2,83 @@
 //
 // Wraps one end of a service connection in a synchronous call API:
 // schedule() encodes a ScheduleRequest frame, writes it, and blocks for
-// the matching ScheduleResponse. Shed responses (admission queue full)
-// can be retried transparently with the recovery layer's probe-backoff
-// policy: attempt k sleeps period * backoff_factor^k seconds, capped at
-// max_backoff, and gives up after retry_budget resends — the same
-// HeartbeatConfig knobs the crash detector uses for its probes.
+// the matching ScheduleResponse. Three retry flavours layer on top:
+//
+//  * schedule_with_retry — the compatibility path: resends on kShed
+//    with the recovery layer's HeartbeatConfig knobs (exponential
+//    backoff via protocol::exponential_backoff), now jittered with a
+//    seeded multiplier so synchronized clients do not retry in
+//    lockstep;
+//  * schedule_robust — the chaos-hardened path: a RetryPolicy with
+//    decorrelated jitter, per-attempt read deadlines and a total
+//    wall-clock budget, an optional shared CircuitBreaker, and an
+//    optional reconnect hook so a dead transport is replaced instead of
+//    reported. Every call ends in exactly one of {answer, typed
+//    refusal, exhausted-budget report} — never a hang.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
+#include <string>
+#include <utility>
 
 #include "net/networks.hpp"
 #include "protocol/recovery.hpp"
 #include "serve/pipe.hpp"
+#include "serve/retry.hpp"
 #include "serve/service_wire.hpp"
+#include "serve/transport.hpp"
 
 namespace dls::serve {
+
+/// How a schedule_robust call ended.
+enum class RobustOutcome : std::uint8_t {
+  kAnswered = 0,         ///< the service answered (any ScheduleStatus)
+  kBudgetExhausted = 1,  ///< attempts/deadline ran out first
+};
+
+std::string to_string(RobustOutcome outcome);
+
+/// Wire-level accounting for one schedule_robust call.
+struct RobustStats {
+  std::size_t attempts = 0;            ///< round trips actually tried
+  std::size_t wire_errors = 0;         ///< transport/decode failures
+  std::size_t breaker_rejections = 0;  ///< attempts the breaker refused
+  std::size_t reconnects = 0;          ///< transports replaced
+  std::string last_error;              ///< most recent wire failure
+};
+
+struct RobustResult {
+  RobustOutcome outcome = RobustOutcome::kBudgetExhausted;
+  /// kAnswered: the service's answer. kBudgetExhausted: the last typed
+  /// refusal seen, if any (status kShed/kDegraded), else default.
+  ScheduleResponse response;
+  RobustStats stats;
+};
+
+struct RobustOptions {
+  RetryPolicy policy;
+  /// Optional; shared across calls (and clients) of one connection.
+  CircuitBreaker* breaker = nullptr;
+  /// Replacement factory for a dead transport. Without one, a dead
+  /// transport ends the call with kBudgetExhausted.
+  std::function<std::unique_ptr<Transport>()> reconnect;
+  /// Seeds the backoff jitter; vary per client for decorrelation.
+  std::uint64_t seed = 1;
+};
 
 class SchedulerClient {
  public:
   /// Takes ownership of the client end returned by
   /// SchedulerService::connect().
-  explicit SchedulerClient(PipeEnd end) : end_(std::move(end)) {}
+  explicit SchedulerClient(PipeEnd end)
+      : end_(std::make_unique<PipeEnd>(std::move(end))) {}
+
+  /// Generalised flavour: any Transport (e.g. a ChaosTransport).
+  explicit SchedulerClient(std::unique_ptr<Transport> transport)
+      : end_(std::move(transport)) {}
 
   /// One synchronous request/response round trip. Throws TransportError
   /// when the service hung up before answering.
@@ -36,22 +91,37 @@ class SchedulerClient {
                             const ScheduleOptions& options = {});
 
   /// schedule(), resending on kShed with exponential backoff per
-  /// `policy`. Returns the last response (still kShed when the budget
-  /// ran out).
+  /// `policy`, each wait scaled by a seeded jitter factor in [0.5, 1)
+  /// so synchronized clients spread apart. Returns the last response
+  /// (still kShed when the budget ran out).
   ScheduleResponse schedule_with_retry(
       std::span<const double> w, std::span<const double> z,
-      const ScheduleOptions& options,
-      const protocol::HeartbeatConfig& policy);
+      const ScheduleOptions& options, const protocol::HeartbeatConfig& policy,
+      std::uint64_t jitter_seed = 0x6a69747465726564ull);
+
+  /// The chaos-hardened call: retries kShed/kDegraded (honouring the
+  /// server's retry-after hint), survives transport and decode failures
+  /// by reconnecting, consults the circuit breaker before touching the
+  /// wire, and always returns — never hangs, never throws for wire
+  /// trouble. Problem-shape errors (kError/kExpired) are answers, not
+  /// retries.
+  RobustResult schedule_robust(std::span<const double> w,
+                               std::span<const double> z,
+                               const ScheduleOptions& options,
+                               const RobustOptions& robust);
 
   /// Hangs up; the service session observes EOF and exits.
-  void close() noexcept { end_.close(); }
+  void close() noexcept {
+    if (end_) end_->close();
+  }
 
  private:
   ScheduleResponse round_trip(std::span<const double> w,
                               std::span<const double> z,
-                              const ScheduleOptions& options);
+                              const ScheduleOptions& options,
+                              double timeout_s = 0.0);
 
-  PipeEnd end_;
+  std::unique_ptr<Transport> end_;
   std::uint64_t next_id_ = 0;
 };
 

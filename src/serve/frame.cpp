@@ -1,15 +1,21 @@
 #include "serve/frame.hpp"
 
+#include <algorithm>
 #include <array>
-#include <utility>
 
 namespace dls::serve {
 
 namespace {
 
-/// Validates the fixed header fields and returns (type, payload size).
+struct Header {
+  FrameType type{};
+  std::size_t length = 0;
+  std::uint32_t checksum = 0;
+};
+
+/// Validates the fixed header fields and returns them decoded.
 /// Factored out so the buffer and stream decoders reject identically.
-std::pair<FrameType, std::size_t> take_header(codec::Reader& r) {
+Header take_header(codec::Reader& r) {
   const std::uint32_t magic = r.u32();
   if (magic != kFrameMagic) {
     throw codec::DecodeError("bad frame magic: expected " +
@@ -32,7 +38,43 @@ std::pair<FrameType, std::size_t> take_header(codec::Reader& r) {
                              " bytes exceeds the " +
                              std::to_string(kMaxFramePayload) + " byte cap");
   }
-  return {static_cast<FrameType>(type), static_cast<std::size_t>(length)};
+  Header header;
+  header.type = static_cast<FrameType>(type);
+  header.length = static_cast<std::size_t>(length);
+  header.checksum = r.u32();
+  return header;
+}
+
+/// Rejects a fully-delivered payload whose bytes no longer hash to what
+/// the sender announced — corruption in flight, not truncation.
+void verify_checksum(const Frame& frame, std::uint32_t announced) {
+  const std::uint32_t computed = frame_checksum(frame.payload);
+  if (computed != announced) {
+    throw FrameChecksumError(
+        "frame payload checksum mismatch: header announced " +
+            std::to_string(announced) + ", payload hashes to " +
+            std::to_string(computed),
+        announced, computed);
+  }
+}
+
+/// Fills `out` from the stream or reports how the frame died: the typed
+/// truncation error when the peer closed mid-frame, TransportTimeout
+/// when the deadline elapsed first.
+void read_or_report(Transport& end, std::span<std::uint8_t> out,
+                    double timeout_s, const char* what,
+                    std::size_t announced) {
+  const ReadOutcome got = end.read_partial(out, timeout_s);
+  if (got.complete) return;
+  if (got.closed) {
+    throw FrameTruncationError(
+        "peer closed inside a " + std::string(what) + " (" +
+            std::to_string(got.received) + " of " +
+            std::to_string(announced) + " bytes arrived)",
+        /*peer_closed=*/true, announced, got.received);
+  }
+  throw TransportTimeout("read of a " + std::string(what) + " timed out (" +
+                         std::to_string(announced) + " bytes expected)");
 }
 
 }  // namespace
@@ -55,6 +97,15 @@ std::string to_string(FrameType type) {
   return "unknown";
 }
 
+std::uint32_t frame_checksum(std::span<const std::uint8_t> payload) noexcept {
+  std::uint32_t hash = 2166136261u;  // FNV-1a offset basis
+  for (const std::uint8_t byte : payload) {
+    hash ^= byte;
+    hash *= 16777619u;  // FNV prime
+  }
+  return hash;
+}
+
 codec::Bytes encode_frame(const Frame& frame) {
   DLS_REQUIRE(frame.payload.size() <= kMaxFramePayload,
               "frame payload exceeds kMaxFramePayload");
@@ -63,44 +114,122 @@ codec::Bytes encode_frame(const Frame& frame) {
   w.u8(kFrameVersion);
   w.u8(static_cast<std::uint8_t>(frame.type));
   w.u32(static_cast<std::uint32_t>(frame.payload.size()));
+  w.u32(frame_checksum(frame.payload));
   w.raw(frame.payload);
   return w.take();
 }
 
 Frame decode_frame(std::span<const std::uint8_t> data) {
   codec::Reader r(data);
-  const auto [type, length] = take_header(r);
-  if (r.remaining() < length) {
-    throw codec::DecodeError("frame truncated: payload of " +
-                             std::to_string(length) + " bytes announced, " +
-                             std::to_string(r.remaining()) + " present");
+  const Header header = take_header(r);
+  if (r.remaining() < header.length) {
+    throw FrameTruncationError(
+        "frame truncated: payload of " + std::to_string(header.length) +
+            " bytes announced, " + std::to_string(r.remaining()) +
+            " present",
+        /*peer_closed=*/false, header.length, r.remaining());
   }
   Frame frame;
-  frame.type = type;
-  frame.payload.resize(length);
+  frame.type = header.type;
+  frame.payload.resize(header.length);
   for (auto& byte : frame.payload) byte = r.u8();
   r.expect_done();
+  verify_checksum(frame, header.checksum);
   return frame;
 }
 
-void write_frame(PipeEnd& end, const Frame& frame) {
+void write_frame(Transport& end, const Frame& frame) {
   end.write(encode_frame(frame));
 }
 
-std::optional<Frame> read_frame(PipeEnd& end) {
+std::optional<Frame> read_frame(Transport& end, double timeout_s) {
   std::array<std::uint8_t, kFrameHeaderSize> header{};
-  if (!end.read_exact(header)) return std::nullopt;
+  const ReadOutcome got = end.read_partial(header, timeout_s);
+  if (!got.complete) {
+    if (!got.closed) {
+      throw TransportTimeout("read of a frame header timed out");
+    }
+    if (got.received == 0) return std::nullopt;  // clean EOF between frames
+    throw FrameTruncationError(
+        "peer closed inside a frame header (" +
+            std::to_string(got.received) + " of " +
+            std::to_string(kFrameHeaderSize) + " bytes arrived)",
+        /*peer_closed=*/true, kFrameHeaderSize, got.received);
+  }
   codec::Reader r(header);
-  const auto [type, length] = take_header(r);
+  const Header parsed = take_header(r);
   r.expect_done();
   Frame frame;
-  frame.type = type;
-  frame.payload.resize(length);
-  if (length > 0 && !end.read_exact(frame.payload)) {
-    throw TransportError("pipe closed inside a frame payload (" +
-                         std::to_string(length) + " bytes announced)");
+  frame.type = parsed.type;
+  frame.payload.resize(parsed.length);
+  if (parsed.length > 0) {
+    read_or_report(end, frame.payload, timeout_s, "frame payload",
+                   parsed.length);
   }
+  verify_checksum(frame, parsed.checksum);
   return frame;
+}
+
+std::optional<Frame> read_frame_resync(Transport& end,
+                                       std::size_t max_scan_bytes,
+                                       std::size_t* skipped,
+                                       double timeout_s) {
+  std::array<std::uint8_t, kFrameHeaderSize> header{};
+  std::size_t discarded = 0;
+  if (skipped != nullptr) *skipped = 0;
+
+  const ReadOutcome got = end.read_partial(header, timeout_s);
+  if (!got.complete) {
+    if (!got.closed) {
+      throw TransportTimeout("read of a frame header timed out");
+    }
+    if (got.received == 0) return std::nullopt;  // clean EOF between frames
+    throw FrameTruncationError(
+        "peer closed inside a frame header (" +
+            std::to_string(got.received) + " of " +
+            std::to_string(kFrameHeaderSize) + " bytes arrived)",
+        /*peer_closed=*/true, kFrameHeaderSize, got.received);
+  }
+
+  for (;;) {
+    Header parsed;
+    try {
+      codec::Reader r(header);
+      parsed = take_header(r);
+      r.expect_done();
+    } catch (const codec::DecodeError&) {
+      // Poison header: slide the window one byte and keep hunting for
+      // the next frame boundary, up to the caller's scan budget.
+      if (discarded >= max_scan_bytes) throw;
+      ++discarded;
+      if (skipped != nullptr) *skipped = discarded;
+      std::copy(header.begin() + 1, header.end(), header.begin());
+      const ReadOutcome one =
+          end.read_partial(std::span(header).last(1), timeout_s);
+      if (one.complete) continue;
+      if (!one.closed) {
+        throw TransportTimeout(
+            "read of a frame header timed out while resynchronising (" +
+            std::to_string(discarded) + " bytes discarded)");
+      }
+      throw codec::DecodeError(
+          "stream ended while resynchronising past a malformed frame "
+          "header (" +
+          std::to_string(discarded) + " bytes discarded)");
+    }
+    // Payload read and checksum check happen outside the try: a torn or
+    // corrupted payload is not a malformed header, so it must propagate
+    // typed instead of re-entering the resync hunt.
+    Frame frame;
+    frame.type = parsed.type;
+    frame.payload.resize(parsed.length);
+    if (parsed.length > 0) {
+      read_or_report(end, frame.payload, timeout_s, "frame payload",
+                     parsed.length);
+    }
+    verify_checksum(frame, parsed.checksum);
+    return frame;
+  }
 }
 
 }  // namespace dls::serve

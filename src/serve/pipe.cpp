@@ -1,8 +1,11 @@
 #include "serve/pipe.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <string>
 #include <vector>
 
 namespace dls::serve {
@@ -43,10 +46,40 @@ class ByteQueue {
                          std::to_string(out.size()) + " bytes buffered)");
   }
 
+  ReadOutcome read_partial(std::span<std::uint8_t> out, double timeout_s) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto ready = [&] {
+      return closed_ || buffer_.size() - pos_ >= out.size();
+    };
+    if (timeout_s <= 0.0) {
+      cv_.wait(lock, ready);
+    } else if (!cv_.wait_for(lock, std::chrono::duration<double>(timeout_s),
+                             ready)) {
+      // Deadline elapsed: consume nothing, so a healthy-but-slow stream
+      // is left intact for the caller's next move.
+      return ReadOutcome{};
+    }
+    const std::size_t available = buffer_.size() - pos_;
+    const std::size_t take = std::min(available, out.size());
+    std::copy_n(buffer_.begin() + static_cast<std::ptrdiff_t>(pos_), take,
+                out.begin());
+    pos_ += take;
+    compact();
+    ReadOutcome outcome;
+    outcome.received = take;
+    outcome.complete = take == out.size();
+    outcome.closed = !outcome.complete;  // ready() held, so not a timeout
+    return outcome;
+  }
+
   void close() noexcept {
     std::unique_lock<std::mutex> lock(mutex_);
-    closed_ = true;
+    closed_.store(true, std::memory_order_release);
     cv_.notify_all();
+  }
+
+  bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
   }
 
  private:
@@ -64,7 +97,9 @@ class ByteQueue {
   std::condition_variable cv_;
   std::vector<std::uint8_t> buffer_;
   std::size_t pos_ = 0;
-  bool closed_ = false;
+  // Atomic so closed() can answer without the mutex; every write to it
+  // still happens under the lock for cv_ predicate coherence.
+  std::atomic<bool> closed_{false};
 };
 
 }  // namespace internal
@@ -94,14 +129,26 @@ bool PipeEnd::read_exact(std::span<std::uint8_t> out) {
   return rx_->read_exact(out);
 }
 
-void PipeEnd::close() noexcept {
-  if (tx_) tx_->close();
-  if (rx_) rx_->close();
-  tx_.reset();
-  rx_.reset();
+ReadOutcome PipeEnd::read_partial(std::span<std::uint8_t> out,
+                                  double timeout_s) {
+  if (!rx_) throw TransportError("read on invalid pipe end");
+  return rx_->read_partial(out, timeout_s);
 }
 
-bool PipeEnd::valid() const noexcept { return tx_ != nullptr; }
+void PipeEnd::close() noexcept {
+  // Mark both directions closed but keep the queue references alive:
+  // close() must be safe concurrently with a peer (or this end's own
+  // reader on another thread) blocked inside a queue — dropping the
+  // last reference here would free the queue out from under that
+  // reader. The references are released by the destructor, once no
+  // thread can be inside a read.
+  if (tx_) tx_->close();
+  if (rx_) rx_->close();
+}
+
+bool PipeEnd::valid() const noexcept {
+  return tx_ != nullptr && !tx_->closed();
+}
 
 Pipe make_pipe() {
   auto a_to_b = std::make_shared<internal::ByteQueue>();

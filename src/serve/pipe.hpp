@@ -1,9 +1,10 @@
 // In-memory duplex byte transport for the scheduling service.
 //
 // A Pipe is a pair of connected endpoints: bytes written to one end are
-// read, in order, from the other. It is the transport seam the service
-// layer is written against — frames travel over PipeEnds today and over
-// sockets in a deployment, with identical framing discipline either way.
+// read, in order, from the other. PipeEnd implements the Transport
+// interface (transport.hpp) the service layer is written against —
+// frames travel over PipeEnds today and over sockets in a deployment,
+// with identical framing discipline either way.
 //
 // Semantics:
 //  * write() appends its whole span as one atomic unit, so concurrent
@@ -12,6 +13,8 @@
 //  * read_exact() blocks until the requested byte count arrived; a
 //    clean close at a read boundary reports EOF, a close mid-read
 //    throws TransportError (a torn frame is an error, not an EOF);
+//  * read_partial() is the timed flavour: on close it consumes whatever
+//    is buffered and reports it, on timeout it consumes nothing;
 //  * close() shuts both directions: the peer's reads drain buffered
 //    bytes then observe EOF, and the peer's writes throw.
 #pragma once
@@ -19,18 +22,10 @@
 #include <cstdint>
 #include <memory>
 #include <span>
-#include <string>
 
-#include "common/error.hpp"
+#include "serve/transport.hpp"
 
 namespace dls::serve {
-
-/// A transport operation failed: write after close, or the peer hung up
-/// in the middle of a frame.
-class TransportError : public dls::Error {
- public:
-  explicit TransportError(const std::string& what) : Error(what) {}
-};
 
 namespace internal {
 class ByteQueue;
@@ -40,33 +35,37 @@ struct Pipe;
 
 /// One end of an in-memory duplex byte stream. Move-only; destroying an
 /// end closes it, so a dropped endpoint never leaves the peer blocked.
-class PipeEnd {
+class PipeEnd final : public Transport {
  public:
   PipeEnd() = default;
   PipeEnd(PipeEnd&& other) noexcept = default;
   PipeEnd& operator=(PipeEnd&& other) noexcept;
-  ~PipeEnd();
+  ~PipeEnd() override;
 
   PipeEnd(const PipeEnd&) = delete;
   PipeEnd& operator=(const PipeEnd&) = delete;
 
   /// Appends `data` to the outbound stream as one atomic unit. Throws
   /// TransportError when this end or the peer's inbound side is closed.
-  void write(std::span<const std::uint8_t> data);
+  void write(std::span<const std::uint8_t> data) override;
 
   /// Blocks until out.size() inbound bytes are available and copies
   /// them. Returns false on clean EOF (closed with nothing buffered);
   /// throws TransportError when the stream closed mid-read.
-  bool read_exact(std::span<std::uint8_t> out);
+  bool read_exact(std::span<std::uint8_t> out) override;
+
+  /// Timed read; see Transport::read_partial.
+  ReadOutcome read_partial(std::span<std::uint8_t> out,
+                           double timeout_s) override;
 
   /// Closes both directions. Pending and future peer reads drain what
   /// was already written, then observe EOF; peer writes throw.
   /// Idempotent.
-  void close() noexcept;
+  void close() noexcept override;
 
   /// True while the endpoint is connected (not default-constructed,
   /// moved-from or closed).
-  bool valid() const noexcept;
+  bool valid() const noexcept override;
 
  private:
   friend Pipe make_pipe();

@@ -35,11 +35,26 @@ SchedulerService::~SchedulerService() { stop(); }
 PipeEnd SchedulerService::connect() {
   std::lock_guard<std::mutex> lock(sessions_mutex_);
   DLS_REQUIRE(accepting_, "connect() on a stopped service");
+  // Reap sessions whose reader has already returned (peer hung up or
+  // was quarantined) so reconnect storms don't accumulate dead threads
+  // for the lifetime of the service.
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire) &&
+        (*it)->pending.load(std::memory_order_acquire) == 0) {
+      if ((*it)->reader.joinable()) (*it)->reader.join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   Pipe pipe = make_pipe();
   auto session = std::make_unique<Session>();
   session->end = std::move(pipe.a);
   Session* raw = session.get();
-  session->reader = std::thread([this, raw] { session_loop(raw); });
+  session->reader = std::thread([this, raw] {
+    session_loop(raw);
+    raw->done.store(true, std::memory_order_release);
+  });
   sessions_.push_back(std::move(session));
   DLS_COUNT("serve.sessions");
   return std::move(pipe.b);
@@ -89,8 +104,55 @@ ServiceStats SchedulerService::stats() const {
 }
 
 void SchedulerService::session_loop(Session* session) {
+  std::size_t poison = 0;
   try {
-    while (auto frame = read_frame(session->end)) {
+    for (;;) {
+      std::size_t skipped = 0;
+      std::optional<Frame> frame;
+      try {
+        frame = read_frame_resync(session->end, config_.resync_scan_bytes,
+                                  &skipped);
+      } catch (const FrameTruncationError&) {
+        // Peer vanished mid-frame (torn write / silent disconnect):
+        // the connection is dead, nothing to salvage.
+        return;
+      } catch (const FrameChecksumError&) {
+        // Payload corrupted in flight, but the announced length was
+        // fully consumed so the stream is still frame-aligned: a
+        // poison frame, not a dead connection.
+        ++poison;
+        DLS_COUNT("serve.fault.checksum_mismatches");
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.poison_frames;
+        }
+        if (poison > config_.poison_budget) {
+          quarantine(session);
+          return;
+        }
+        continue;
+      } catch (const codec::DecodeError&) {
+        // The resync scan gave up (budget exhausted or the stream died
+        // while hunting): this peer is sending garbage, not frames.
+        quarantine(session);
+        return;
+      }
+      if (skipped > 0) {
+        // A malformed header was skipped over: count the poison frame
+        // and quarantine peers that keep sending them.
+        ++poison;
+        DLS_COUNT("serve.fault.poison_frames");
+        DLS_COUNT("serve.fault.resync_bytes", skipped);
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.poison_frames;
+        }
+        if (poison > config_.poison_budget) {
+          quarantine(session);
+          return;
+        }
+      }
+      if (!frame) return;  // clean EOF: the client hung up
       if (frame->type != FrameType::kScheduleRequest) {
         ScheduleResponse refusal;
         refusal.status = ScheduleStatus::kError;
@@ -119,18 +181,67 @@ void SchedulerService::session_loop(Session* session) {
       admit(std::move(request), session);
     }
   } catch (const TransportError&) {
-    // Peer vanished mid-frame; the connection is dead either way.
-  } catch (const codec::DecodeError&) {
-    // Unframeable garbage on the stream: stop reading. The client sees
-    // EOF for any request it still believes is in flight.
-    session->end.close();
+    // Peer vanished; the connection is dead either way.
   }
 }
 
+void SchedulerService::quarantine(Session* session) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.quarantined;
+  }
+  DLS_COUNT("serve.quarantined");
+  // Closing only this connection tears down the poisoned peer without
+  // touching the dispatcher or any other session; the client observes
+  // EOF for anything it still believes is in flight.
+  session->end.close();
+}
+
+bool SchedulerService::try_brownout(const ScheduleRequest& request,
+                                    Session* session) {
+  if (config_.brownout_watermark == 0) return false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (queue_.size() < config_.brownout_watermark) return false;
+  }
+  // Above the watermark the solver pool is the bottleneck, so answer
+  // what the cache already knows inline from the reader thread (the
+  // bytes are identical to a queued solve) and refuse the rest with a
+  // typed hint instead of letting the queue shed blindly.
+  DLS_SPAN("serve.brownout");
+  if (!request.options.want_payments) {
+    const codec::Bytes key = canonical_topology_key(request.w, request.z);
+    if (const SolveCache::Value solution = cache_.lookup(key)) {
+      ScheduleResponse response;
+      response.request_id = request.request_id;
+      response.status = ScheduleStatus::kOk;
+      response.cache_hit = true;
+      response.alpha = solution->alpha;
+      response.makespan = solution->makespan;
+      DLS_COUNT("serve.brownout.cache_hits");
+      count_response(response);
+      send_response(session, response);
+      return true;
+    }
+  }
+  // Payments need the full mechanism run, never just cached bytes, so
+  // want_payments traffic always degrades during a brown-out.
+  ScheduleResponse degraded;
+  degraded.request_id = request.request_id;
+  degraded.status = ScheduleStatus::kDegraded;
+  degraded.error = "service degraded: queue above brown-out watermark";
+  degraded.retry_after_us = config_.degraded_retry_after_us;
+  count_response(degraded);
+  send_response(session, degraded);
+  return true;
+}
+
 void SchedulerService::admit(ScheduleRequest request, Session* session) {
+  if (try_brownout(request, session)) return;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (!stopping_ && queue_.size() < config_.queue_capacity) {
+      session->pending.fetch_add(1, std::memory_order_relaxed);
       queue_.push_back(Pending{std::move(request),
                                std::chrono::steady_clock::now(), session});
       DLS_GAUGE_MAX("serve.queue_depth", static_cast<double>(queue_.size()));
@@ -183,6 +294,7 @@ void SchedulerService::dispatch_loop() {
     refusal.error = "service stopped before the request was served";
     count_response(refusal);
     send_response(pending.session, refusal);
+    pending.session->pending.fetch_sub(1, std::memory_order_release);
   }
 }
 
@@ -208,6 +320,7 @@ void SchedulerService::process_batch(std::vector<Pending>& batch) {
                    5000.0, 10000.0, 20000.0, 50000.0, 100000.0, 1000000.0});
     }
     send_response(batch[i].session, responses[i]);
+    batch[i].session->pending.fetch_sub(1, std::memory_order_release);
   }
 }
 
@@ -286,6 +399,9 @@ void SchedulerService::count_response(const ScheduleResponse& response) {
       case ScheduleStatus::kError:
         ++stats_.errors;
         break;
+      case ScheduleStatus::kDegraded:
+        ++stats_.degraded;
+        break;
     }
   }
   switch (response.status) {
@@ -300,6 +416,9 @@ void SchedulerService::count_response(const ScheduleResponse& response) {
       break;
     case ScheduleStatus::kError:
       DLS_COUNT("serve.responses.error");
+      break;
+    case ScheduleStatus::kDegraded:
+      DLS_COUNT("serve.degraded");
       break;
   }
 }

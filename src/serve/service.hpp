@@ -29,6 +29,7 @@
 // friends — catalogued in docs/OBSERVABILITY.md.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -61,6 +62,19 @@ struct ServiceConfig {
   /// but nothing is solved until resume(). Tests use this to provoke
   /// deterministic queue-full and deadline-expiry behaviour.
   bool start_paused = false;
+  /// Brown-out watermark: when the queue holds at least this many
+  /// requests, cache hits are answered inline from the reader thread
+  /// and cache misses get a typed kDegraded refusal with a retry-after
+  /// hint instead of queueing. 0 disables brown-out.
+  std::size_t brownout_watermark = 0;
+  /// The retry-after hint carried by kDegraded responses (µs).
+  double degraded_retry_after_us = 1000.0;
+  /// Poison-frame tolerance: how many resynchronised (garbled) frames
+  /// a connection may send before it is quarantined (closed).
+  std::size_t poison_budget = 8;
+  /// Bytes the framing layer may discard hunting for the next frame
+  /// boundary after a malformed header, per incident.
+  std::size_t resync_scan_bytes = 65536;
 };
 
 /// Transport-independent response counts (kept regardless of whether
@@ -72,6 +86,9 @@ struct ServiceStats {
   std::uint64_t shed = 0;
   std::uint64_t expired = 0;
   std::uint64_t errors = 0;
+  std::uint64_t degraded = 0;       ///< kDegraded brown-out refusals
+  std::uint64_t poison_frames = 0;  ///< frames recovered via resync
+  std::uint64_t quarantined = 0;    ///< connections closed for poison
 };
 
 class SchedulerService {
@@ -106,6 +123,10 @@ class SchedulerService {
   struct Session {
     PipeEnd end;  ///< server side of the connection
     std::thread reader;
+    std::atomic<bool> done{false};  ///< reader loop has returned
+    /// Queued requests still holding a pointer to this session; the
+    /// session may only be reaped once done and pending == 0.
+    std::atomic<std::size_t> pending{0};
   };
   struct Pending {
     ScheduleRequest request;
@@ -114,7 +135,14 @@ class SchedulerService {
   };
 
   void session_loop(Session* session);
+  /// Closes a connection that exhausted its poison budget (or sent a
+  /// stream the resync scan could not rescue).
+  void quarantine(Session* session);
   void admit(ScheduleRequest request, Session* session);
+  /// Brown-out path: answers `request` inline (cache hit or kDegraded)
+  /// when the queue is above the watermark. Returns false when the
+  /// request should proceed to normal admission.
+  bool try_brownout(const ScheduleRequest& request, Session* session);
   void dispatch_loop();
   void process_batch(std::vector<Pending>& batch);
   /// Solves (or refuses) one admitted request; pure apart from cache

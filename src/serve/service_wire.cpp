@@ -5,7 +5,8 @@ namespace dls::serve {
 namespace {
 
 constexpr std::string_view kRequestMagic = "dls.serve.req.v1";
-constexpr std::string_view kResponseMagic = "dls.serve.resp.v1";
+// v2 appended the retry_after_us brown-out hint to the response tail.
+constexpr std::string_view kResponseMagic = "dls.serve.resp.v2";
 constexpr std::string_view kKeyMagic = "dls.serve.key.v1";
 
 /// Caps decoded vector lengths so a malformed count cannot force a
@@ -56,6 +57,8 @@ std::string to_string(ScheduleStatus status) {
       return "expired";
     case ScheduleStatus::kError:
       return "error";
+    case ScheduleStatus::kDegraded:
+      return "degraded";
   }
   return "unknown";
 }
@@ -107,6 +110,7 @@ codec::Bytes encode_schedule_response(const ScheduleResponse& response) {
   w.f64(response.makespan);
   put_f64_vector(w, response.payments);
   w.f64(response.total_payment);
+  w.f64(response.retry_after_us);
   return w.take();
 }
 
@@ -117,7 +121,7 @@ ScheduleResponse decode_schedule_response(
   ScheduleResponse response;
   response.request_id = r.u64();
   const std::uint8_t status = r.u8();
-  if (status > static_cast<std::uint8_t>(ScheduleStatus::kError)) {
+  if (status > static_cast<std::uint8_t>(ScheduleStatus::kDegraded)) {
     throw codec::DecodeError("unknown schedule status " +
                              std::to_string(status));
   }
@@ -128,6 +132,7 @@ ScheduleResponse decode_schedule_response(
   response.makespan = r.f64();
   response.payments = take_f64_vector(r);
   response.total_payment = r.f64();
+  response.retry_after_us = r.f64();
   r.expect_done();
   return response;
 }

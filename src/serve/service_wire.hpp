@@ -46,6 +46,8 @@ enum class ScheduleStatus : std::uint8_t {
   kShed = 1,     ///< admission queue full — retry with backoff
   kExpired = 2,  ///< deadline passed before the solve started
   kError = 3,    ///< malformed or infeasible request; see `error`
+  kDegraded = 4, ///< brown-out: cache miss shed under load; see
+                 ///< `retry_after_us` for when to come back
 };
 
 std::string to_string(ScheduleStatus status);
@@ -54,11 +56,14 @@ struct ScheduleResponse {
   std::uint64_t request_id = 0;
   ScheduleStatus status = ScheduleStatus::kOk;
   bool cache_hit = false;
-  std::string error;           ///< empty unless status == kError
+  std::string error;           ///< empty unless status is kError/kDegraded
   std::vector<double> alpha;   ///< load fractions α_0..α_m (kOk only)
   double makespan = 0.0;       ///< T(α*) (kOk only)
   std::vector<double> payments;  ///< Q_0..Q_m when want_payments (kOk)
   double total_payment = 0.0;    ///< Σ_{j>=1} Q_j (kOk + want_payments)
+  /// Brown-out hint (kDegraded only): how long the client should wait
+  /// before retrying, in microseconds; 0 when the server has no advice.
+  double retry_after_us = 0.0;
 };
 
 codec::Bytes encode_schedule_request(const ScheduleRequest& request);

@@ -1,0 +1,88 @@
+// The duplex byte-transport seam of the serve layer.
+//
+// Everything above the byte stream — framing, the client, the service —
+// is written against this interface, so the same code runs over the
+// in-memory Pipe today, a fault-injecting ChaosTransport in the soak
+// harness, and sockets in a deployment. Implementations must provide:
+//
+//  * write(): the whole span delivered as one atomic unit (concurrent
+//    writers never interleave partial frames);
+//  * read_exact(): block until the span is filled; clean EOF at a read
+//    boundary returns false, a close mid-read throws TransportError;
+//  * read_partial(): the timed flavour — fills as much of the span as
+//    the deadline allows and reports how the read ended instead of
+//    throwing, so framing can distinguish peer-closed from timed-out;
+//  * close(): idempotent, both directions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace dls::serve {
+
+/// A transport operation failed: write after close, or the peer hung up
+/// in the middle of a read unit.
+class TransportError : public dls::Error {
+ public:
+  explicit TransportError(const std::string& what) : Error(what) {}
+};
+
+/// A timed read's deadline elapsed before the requested bytes arrived.
+/// Nothing was consumed; the stream itself may still be healthy.
+class TransportTimeout : public TransportError {
+ public:
+  explicit TransportTimeout(const std::string& what)
+      : TransportError(what) {}
+};
+
+/// How a read_partial() call ended. Exactly one of three shapes:
+///   complete            — the whole span was filled;
+///   closed              — the stream ended first; `received` bytes
+///                         (possibly 0) were consumed into the span;
+///   neither (timeout)   — the deadline elapsed; nothing was consumed.
+struct ReadOutcome {
+  std::size_t received = 0;  ///< bytes copied into the caller's span
+  bool complete = false;     ///< the whole span was filled
+  bool closed = false;       ///< the stream closed before completing
+};
+
+/// One end of a duplex byte stream. See the file comment for the
+/// contract each method must honour.
+class Transport {
+ public:
+  Transport() = default;
+  virtual ~Transport() = default;
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+  Transport(Transport&&) = default;
+  Transport& operator=(Transport&&) = default;
+
+  /// Appends `data` to the outbound stream as one atomic unit. Throws
+  /// TransportError when this end or the peer's inbound side is closed.
+  virtual void write(std::span<const std::uint8_t> data) = 0;
+
+  /// Blocks until out.size() inbound bytes are available and copies
+  /// them. Returns false on clean EOF (closed with nothing buffered);
+  /// throws TransportError when the stream closed mid-read.
+  virtual bool read_exact(std::span<std::uint8_t> out) = 0;
+
+  /// Timed read: waits up to `timeout_s` seconds (<= 0 waits forever)
+  /// for out.size() bytes. On close the remaining buffered bytes are
+  /// consumed and reported; on timeout nothing is consumed.
+  virtual ReadOutcome read_partial(std::span<std::uint8_t> out,
+                                   double timeout_s) = 0;
+
+  /// Closes both directions. Idempotent.
+  virtual void close() noexcept = 0;
+
+  /// True while the endpoint is connected (not default-constructed,
+  /// moved-from or closed).
+  virtual bool valid() const noexcept = 0;
+};
+
+}  // namespace dls::serve

@@ -3,6 +3,8 @@
 // concurrent paths are covered by obs_stress_test.cpp.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -195,6 +197,69 @@ TEST_F(ObsTest, ChromeTraceExportHasMetadataAndCompleteEvents) {
   EXPECT_NE(json.find("\"name\":\"solve.reduce\""), std::string::npos);
   EXPECT_NE(json.find("{\"m\":3}"), std::string::npos);
   EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+}
+
+TEST_F(ObsTest, StreamingChromeTraceMatchesBatchWriterEventForEvent) {
+  {
+    Span s("solve.reduce", R"({"m":3})");
+  }
+  dls::obs::record_span("sim.compute", 0, 1000, Track::kSimulation, 2);
+  const std::vector<SpanEvent> events = TraceSink::global().drain();
+  const MetricsSnapshot metrics = MetricsRegistry::global().snapshot();
+
+  std::ostringstream batch;
+  dls::obs::write_chrome_trace(batch, events, &metrics);
+
+  // Feed the same events through the streaming writer in two batches.
+  std::ostringstream streamed;
+  {
+    dls::obs::StreamingChromeTrace trace(streamed);
+    trace.append(std::span(events).first(1));
+    trace.append(std::span(events).subspan(1));
+    trace.finish(&metrics);
+  }
+  const std::string json = streamed.str();
+
+  // Every event line the batch writer emits appears verbatim (the two
+  // writers share the line formatter), and the stream is valid JSON with
+  // the same metadata and metrics attachments.
+  for (const SpanEvent& e : events) {
+    const std::string needle = "\"name\":\"" + std::string(e.name) + "\"";
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"runtime\""), std::string::npos);
+  EXPECT_NE(json.find("\"simulation\""), std::string::npos);
+  EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+
+  // Both writers emit the identical set of event lines: strip the
+  // wrappers and compare the sorted line multisets.
+  const auto event_lines = [](const std::string& text) {
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("{\"name\":", 0) == 0 ||
+          line.rfind("{\"ph\":\"M\"", 0) == 0) {
+        if (!line.empty() && line.back() == ',') line.pop_back();
+        lines.push_back(line);
+      }
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+  EXPECT_EQ(event_lines(batch.str()), event_lines(json));
+}
+
+TEST_F(ObsTest, StreamingChromeTraceDestructorClosesTheJson) {
+  std::ostringstream out;
+  { dls::obs::StreamingChromeTrace trace(out); }
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(json.find("\"otherData\""), std::string::npos);
+  EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
 }
 
 TEST_F(ObsTest, JsonlExportOneLinePerEvent) {

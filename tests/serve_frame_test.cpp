@@ -19,12 +19,15 @@ namespace {
 using dls::codec::Bytes;
 using dls::codec::DecodeError;
 using dls::serve::Frame;
+using dls::serve::FrameTruncationError;
 using dls::serve::FrameType;
 using dls::serve::kFrameHeaderSize;
 using dls::serve::make_pipe;
 using dls::serve::Pipe;
 using dls::serve::PipeEnd;
+using dls::serve::ReadOutcome;
 using dls::serve::TransportError;
+using dls::serve::TransportTimeout;
 
 Bytes bytes_of(std::initializer_list<int> values) {
   Bytes out;
@@ -145,6 +148,58 @@ TEST(FrameTest, EveryTruncationPrefixIsRejected) {
   }
 }
 
+TEST(FrameTest, BufferTruncationIsTypedAsCorruptedLengthNotPeerClose) {
+  // Once the whole header is present, a short buffer means the length
+  // field promised more than the capture holds — peer_closed() false.
+  const Bytes wire = dls::serve::encode_frame(
+      Frame{FrameType::kScheduleRequest, bytes_of({9, 8, 7})});
+  for (std::size_t len = kFrameHeaderSize; len < wire.size(); ++len) {
+    try {
+      dls::serve::decode_frame(std::span(wire.data(), len));
+      FAIL() << "frame prefix of " << len << " bytes accepted";
+    } catch (const FrameTruncationError& e) {
+      EXPECT_FALSE(e.peer_closed()) << "prefix " << len;
+      EXPECT_EQ(e.announced(), wire.size() - kFrameHeaderSize);
+      EXPECT_EQ(e.received(), len - kFrameHeaderSize);
+    }
+  }
+}
+
+TEST(FrameTest, EveryStreamPrefixReportsTypedTruncation) {
+  // Like EveryTruncationPrefixIsRejected but across a live stream that
+  // hangs up after each prefix: a clean close at offset 0 is EOF, a
+  // close anywhere inside the frame is FrameTruncationError with
+  // peer_closed() true, and the full frame round-trips.
+  const Bytes wire = dls::serve::encode_frame(
+      Frame{FrameType::kScheduleRequest, bytes_of({9, 8, 7})});
+  for (std::size_t len = 0; len <= wire.size(); ++len) {
+    Pipe pipe = make_pipe();
+    pipe.a.write(std::span(wire.data(), len));
+    pipe.a.close();
+    if (len == 0) {
+      EXPECT_FALSE(dls::serve::read_frame(pipe.b).has_value());
+      continue;
+    }
+    if (len == wire.size()) {
+      EXPECT_TRUE(dls::serve::read_frame(pipe.b).has_value());
+      continue;
+    }
+    try {
+      dls::serve::read_frame(pipe.b);
+      FAIL() << "stream prefix of " << len << " bytes accepted";
+    } catch (const FrameTruncationError& e) {
+      EXPECT_TRUE(e.peer_closed()) << "prefix " << len;
+      if (len < kFrameHeaderSize) {
+        EXPECT_EQ(e.announced(), kFrameHeaderSize);
+        EXPECT_EQ(e.received(), len);
+      } else {
+        EXPECT_EQ(e.announced(), wire.size() - kFrameHeaderSize);
+        EXPECT_EQ(e.received(), len - kFrameHeaderSize);
+      }
+    }
+  }
+}
+
 TEST(FrameTest, TrailingBytesAreRejected) {
   Bytes wire = dls::serve::encode_frame(
       Frame{FrameType::kScheduleRequest, bytes_of({1})});
@@ -193,14 +248,141 @@ TEST(FrameTest, CleanEofBetweenFramesIsNullopt) {
   EXPECT_FALSE(dls::serve::read_frame(pipe.b).has_value());
 }
 
-TEST(FrameTest, EofInsideFrameIsTransportError) {
+TEST(FrameTest, EofInsideFrameIsPeerClosedTruncation) {
   Pipe pipe = make_pipe();
   const Bytes wire = dls::serve::encode_frame(
       Frame{FrameType::kBid, bytes_of({1, 2, 3, 4})});
-  // Send the header plus part of the payload, then hang up.
+  // Send the header plus part of the payload, then hang up: a torn
+  // frame, reported as peer-closed truncation (not a decode-side
+  // corrupted length, and no longer an untyped TransportError).
   pipe.a.write(std::span(wire.data(), kFrameHeaderSize + 2));
   pipe.a.close();
-  EXPECT_THROW(dls::serve::read_frame(pipe.b), TransportError);
+  try {
+    dls::serve::read_frame(pipe.b);
+    FAIL() << "torn frame accepted";
+  } catch (const FrameTruncationError& e) {
+    EXPECT_TRUE(e.peer_closed());
+    EXPECT_EQ(e.announced(), 4u);
+    EXPECT_EQ(e.received(), 2u);
+  }
+}
+
+TEST(FrameTest, ReadFrameTimesOutOnSilentPeer) {
+  Pipe pipe = make_pipe();
+  EXPECT_THROW(dls::serve::read_frame(pipe.b, /*timeout_s=*/0.01),
+               TransportTimeout);
+  // The timeout consumed nothing: a frame sent afterwards still reads.
+  dls::serve::write_frame(pipe.a, Frame{FrameType::kBid, bytes_of({1})});
+  const auto got = dls::serve::read_frame(pipe.b, /*timeout_s=*/1.0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, bytes_of({1}));
+}
+
+TEST(PipeTest, ReadPartialTimeoutConsumesNothing) {
+  Pipe pipe = make_pipe();
+  pipe.a.write(bytes_of({1, 2, 3}));
+  Bytes want(5);
+  const ReadOutcome timed = pipe.b.read_partial(want, 0.01);
+  EXPECT_EQ(timed.received, 0u);
+  EXPECT_FALSE(timed.complete);
+  EXPECT_FALSE(timed.closed);
+  pipe.a.write(bytes_of({4, 5}));
+  const ReadOutcome full = pipe.b.read_partial(want, 1.0);
+  EXPECT_TRUE(full.complete);
+  EXPECT_EQ(want, bytes_of({1, 2, 3, 4, 5}));
+}
+
+TEST(PipeTest, ReadPartialDrainsBufferedBytesOnClose) {
+  Pipe pipe = make_pipe();
+  pipe.a.write(bytes_of({7, 8}));
+  pipe.a.close();
+  Bytes want(4);
+  const ReadOutcome got = pipe.b.read_partial(want, 0.0);
+  EXPECT_TRUE(got.closed);
+  EXPECT_FALSE(got.complete);
+  EXPECT_EQ(got.received, 2u);
+  EXPECT_EQ(want[0], 7);
+  EXPECT_EQ(want[1], 8);
+}
+
+TEST(FrameTest, ResyncSkipsGarbageToNextFrameBoundary) {
+  Pipe pipe = make_pipe();
+  const Bytes garbage = bytes_of({0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01, 0x02});
+  const Frame sent{FrameType::kReport, bytes_of({5, 6, 7})};
+  pipe.a.write(garbage);
+  dls::serve::write_frame(pipe.a, sent);
+  std::size_t skipped = 0;
+  const auto got =
+      dls::serve::read_frame_resync(pipe.b, /*max_scan_bytes=*/1024,
+                                    &skipped);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, sent.type);
+  EXPECT_EQ(got->payload, sent.payload);
+  EXPECT_EQ(skipped, garbage.size());
+  // A well-formed stream afterwards resyncs nothing.
+  dls::serve::write_frame(pipe.a, sent);
+  const auto clean =
+      dls::serve::read_frame_resync(pipe.b, 1024, &skipped);
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_EQ(skipped, 0u);
+}
+
+TEST(FrameTest, ResyncGivesUpPastScanBudget) {
+  Pipe pipe = make_pipe();
+  Bytes garbage(64, 0xAB);
+  pipe.a.write(garbage);
+  dls::serve::write_frame(pipe.a,
+                          Frame{FrameType::kBid, bytes_of({1})});
+  EXPECT_THROW(
+      dls::serve::read_frame_resync(pipe.b, /*max_scan_bytes=*/16),
+      DecodeError);
+}
+
+TEST(FrameTest, ResyncReportsEofWhileHunting) {
+  Pipe pipe = make_pipe();
+  // Enough garbage to fill a whole header window, then EOF mid-hunt.
+  pipe.a.write(Bytes(kFrameHeaderSize + 4, 0x0C));
+  pipe.a.close();
+  EXPECT_THROW(dls::serve::read_frame_resync(pipe.b, 1024), DecodeError);
+}
+
+TEST(FrameTest, CorruptedPayloadIsChecksumMismatch) {
+  using dls::serve::FrameChecksumError;
+  Bytes wire = dls::serve::encode_frame(
+      Frame{FrameType::kScheduleRequest, bytes_of({1, 2, 3, 4})});
+  wire[kFrameHeaderSize + 2] ^= 0x10;  // flip one payload bit
+  try {
+    dls::serve::decode_frame(wire);
+    FAIL() << "corrupted payload accepted";
+  } catch (const FrameChecksumError& e) {
+    EXPECT_NE(e.announced(), e.computed());
+  }
+}
+
+TEST(FrameTest, CorruptedChecksumFieldIsChecksumMismatch) {
+  using dls::serve::FrameChecksumError;
+  Bytes wire = dls::serve::encode_frame(
+      Frame{FrameType::kScheduleRequest, bytes_of({1, 2, 3, 4})});
+  wire[kFrameHeaderSize - 1] ^= 0x01;  // flip a bit of the checksum itself
+  EXPECT_THROW(dls::serve::decode_frame(wire), FrameChecksumError);
+}
+
+TEST(FrameTest, ChecksumMismatchLeavesStreamFrameAligned) {
+  // The announced length is fully consumed before the checksum verdict,
+  // so a server can skip the poison frame and keep reading.
+  using dls::serve::FrameChecksumError;
+  Pipe pipe = make_pipe();
+  Bytes corrupt = dls::serve::encode_frame(
+      Frame{FrameType::kBid, bytes_of({1, 2, 3})});
+  corrupt[kFrameHeaderSize] ^= 0x80;
+  pipe.a.write(corrupt);
+  const Frame good{FrameType::kReport, bytes_of({4, 5, 6})};
+  dls::serve::write_frame(pipe.a, good);
+  EXPECT_THROW(dls::serve::read_frame(pipe.b), FrameChecksumError);
+  const auto got = dls::serve::read_frame(pipe.b);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, good.type);
+  EXPECT_EQ(got->payload, good.payload);
 }
 
 TEST(FrameTest, MalformedHeaderOnStreamIsDecodeError) {
