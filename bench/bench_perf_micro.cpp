@@ -26,6 +26,7 @@
 #include "crypto/pki.hpp"
 #include "crypto/signed_claim.hpp"
 #include "dlt/affine.hpp"
+#include "dlt/batch.hpp"
 #include "dlt/counterfactual.hpp"
 #include "dlt/linear.hpp"
 #include "dlt/tree.hpp"
@@ -113,6 +114,127 @@ void bm_solver_workspace(benchmark::State& state) {
 }
 BENCHMARK(bm_solver_workspace)->RangeMultiplier(16)->Range(16, 1 << 20);
 
+// ---------------------------------------------------------------------
+// The batched SoA engine: K instances of one chain length solved in
+// lockstep so the per-step recurrence runs across lanes (AVX2/NEON when
+// compiled in and supported, scalar otherwise — bit-identical either
+// way). Zero heap allocations per batched solve once the arena has
+// warmed; that is asserted (SkipWithError), not just reported.
+constexpr std::size_t kBatchChain = 64;
+
+std::vector<dls::net::LinearNetwork> batch_instances(std::size_t lanes) {
+  dls::common::Rng rng(11);
+  std::vector<dls::net::LinearNetwork> nets;
+  nets.reserve(lanes);
+  for (std::size_t k = 0; k < lanes; ++k) {
+    nets.push_back(
+        dls::net::LinearNetwork::random(kBatchChain, rng, 0.5, 5.0, 0.05, 0.5));
+  }
+  return nets;
+}
+
+void run_solver_batch(benchmark::State& state, dls::dlt::BatchKernel kernel) {
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  const auto nets = batch_instances(lanes);
+  dls::dlt::BatchLinearSolver solver;
+  solver.reserve(kBatchChain, lanes);
+  const auto solve_once = [&] {
+    solver.begin(kBatchChain, lanes);
+    for (std::size_t k = 0; k < lanes; ++k) solver.set_instance(k, nets[k]);
+    solver.solve(kernel);
+  };
+  solve_once();  // warm the arena
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = alloc_count();
+    solve_once();
+    benchmark::DoNotOptimize(solver.makespan(lanes - 1));
+    allocs += alloc_count() - before;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(lanes) *
+                          static_cast<std::int64_t>(state.iterations()));
+  state.counters["allocs_per_solve"] =
+      static_cast<double>(allocs) /
+      static_cast<double>(std::max<std::int64_t>(state.iterations(), 1));
+  state.counters["simd"] = dls::dlt::batch_simd_available() &&
+                                   kernel != dls::dlt::BatchKernel::kScalar
+                               ? 1.0
+                               : 0.0;
+  if (allocs != 0) state.SkipWithError("batched solve allocated after warm-up");
+}
+
+void bm_solver_batch(benchmark::State& state) {
+  run_solver_batch(state, dls::dlt::BatchKernel::kAuto);
+}
+BENCHMARK(bm_solver_batch)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void bm_solver_batch_scalar(benchmark::State& state) {
+  run_solver_batch(state, dls::dlt::BatchKernel::kScalar);
+}
+BENCHMARK(bm_solver_batch_scalar)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// Back-to-back comparison: one K=256 batched solve versus 256 sequential
+// workspace solves of the same instances. The counter is the measured
+// throughput ratio; its floor_ prefix makes check_perf_regression.py
+// treat it as a minimum (dropping below baseline/threshold fails CI),
+// pinning the ">= 3x" acceptance bar as a gated number.
+void bm_solver_batch_speedup(benchmark::State& state) {
+  constexpr std::size_t kLanes = 256;
+  const auto nets = batch_instances(kLanes);
+  dls::dlt::BatchLinearSolver solver;
+  solver.reserve(kBatchChain, kLanes);
+  dls::dlt::LinearSolverWorkspace ws;
+  dls::dlt::solve_linear_boundary(nets[0], ws);  // warm both paths
+  using clock = std::chrono::steady_clock;
+  double batch_seconds = 0.0;
+  double scalar_seconds = 0.0;
+  for (auto _ : state) {
+    const auto t0 = clock::now();
+    solver.begin(kBatchChain, kLanes);
+    for (std::size_t k = 0; k < kLanes; ++k) solver.set_instance(k, nets[k]);
+    solver.solve();
+    const auto t1 = clock::now();
+    double acc = solver.makespan(0);
+    for (std::size_t k = 0; k < kLanes; ++k) {
+      acc += dls::dlt::solve_linear_boundary(nets[k], ws).makespan;
+    }
+    const auto t2 = clock::now();
+    batch_seconds += std::chrono::duration<double>(t1 - t0).count();
+    scalar_seconds += std::chrono::duration<double>(t2 - t1).count();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["floor_speedup_vs_scalar"] =
+      batch_seconds > 0.0 ? scalar_seconds / batch_seconds : 0.0;
+}
+BENCHMARK(bm_solver_batch_speedup)->Unit(benchmark::kMicrosecond);
+
+// Batched mechanism assessment: one SoA solve for K bid networks, then
+// a per-lane compliant assessment taking its allocation straight from
+// the lane (no second Algorithm 1 run per instance).
+void bm_assess_batch(benchmark::State& state) {
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  const auto nets = batch_instances(lanes);
+  const dls::core::MechanismConfig config;
+  dls::dlt::BatchLinearSolver solver;
+  solver.reserve(kBatchChain, lanes);
+  dls::core::AssessWorkspace ws;
+  for (auto _ : state) {
+    solver.begin(kBatchChain, lanes);
+    for (std::size_t k = 0; k < lanes; ++k) solver.set_instance(k, nets[k]);
+    solver.solve();
+    double acc = 0.0;
+    for (std::size_t k = 0; k < lanes; ++k) {
+      acc += dls::core::assess_compliant_from_batch(
+                 nets[k], solver, k, nets[k].processing_times(), config, ws)
+                 .total_payment;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(lanes) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_assess_batch)->Arg(16)->Arg(256);
+
 void bm_mechanism_assessment(benchmark::State& state) {
   const auto net = network_of(static_cast<std::size_t>(state.range(0)));
   std::vector<double> actual(net.processing_times().begin(),
@@ -191,6 +313,10 @@ void bm_utility_sweep_incremental(benchmark::State& state) {
   std::vector<double> bids(kSweepBids);
   std::vector<double> utilities(kSweepBids);
   dls::core::CounterfactualMechanism mech(net, actual, config);
+  for (std::size_t k = 0; k < kSweepBids; ++k) {
+    bids[k] = net.w(1) * multipliers[k];
+  }
+  mech.utility_curve(1, bids, utilities);  // warm the rebid scratch
   std::uint64_t allocs = 0;
   for (auto _ : state) {
     double acc = 0.0;

@@ -13,6 +13,12 @@ gated too, as pseudo-benchmarks named ``<benchmark>#<counter>`` — so a
 latency-distribution regression fails the gate even when the benchmark's
 own cpu_time stays flat (closed-loop wall time hides tail latency).
 
+User counters whose name starts with ``floor_`` are gated as MINIMA:
+bigger is better, and the gate fails when the current value drops below
+baseline / threshold. The batch solver exports its measured speedup over
+sequential scalar solves as ``floor_speedup_vs_scalar``, so losing the
+vectorised win is a gate failure, not a silent note in a report.
+
 Usage:
     bench/check_perf_regression.py BASELINE CURRENT [--threshold 3.0]
 """
@@ -25,10 +31,12 @@ import sys
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def load_cpu_times_ns(path: str) -> dict[str, float]:
+def load_report(path: str) -> tuple[dict[str, float], dict[str, float]]:
+    """Returns (cpu times in ns incl. hist_ counters, floor_ counters)."""
     with open(path, encoding="utf-8") as handle:
         report = json.load(handle)
     times: dict[str, float] = {}
+    floors: dict[str, float] = {}
     for bench in report.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev) so repetition runs
         # compare raw iterations against raw iterations.
@@ -38,12 +46,18 @@ def load_cpu_times_ns(path: str) -> dict[str, float]:
         if unit is None:
             raise SystemExit(f"{path}: unknown time_unit in {bench['name']}")
         times[bench["name"]] = float(bench["cpu_time"]) * unit
-        # hist_* user counters are latency quantiles in microseconds;
-        # gate them alongside cpu_time as pseudo-benchmarks.
         for counter, value in bench.items():
-            if isinstance(counter, str) and counter.startswith("hist_"):
+            if not isinstance(counter, str):
+                continue
+            # hist_* user counters are latency quantiles in microseconds;
+            # gate them alongside cpu_time as pseudo-benchmarks.
+            if counter.startswith("hist_"):
                 times[f"{bench['name']}#{counter}"] = float(value) * 1e3
-    return times
+            # floor_* counters are bigger-is-better figures gated as
+            # minima by main().
+            elif counter.startswith("floor_"):
+                floors[f"{bench['name']}#{counter}"] = float(value)
+    return times, floors
 
 
 def main() -> int:
@@ -58,8 +72,8 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    baseline = load_cpu_times_ns(args.baseline)
-    current = load_cpu_times_ns(args.current)
+    baseline, baseline_floors = load_report(args.baseline)
+    current, current_floors = load_report(args.current)
     shared = sorted(set(baseline) & set(current))
     if not shared:
         print("error: no overlapping benchmarks between the two reports",
@@ -76,8 +90,20 @@ def main() -> int:
         if ratio > args.threshold:
             failures.append(name)
 
+    # floor_ counters: bigger is better; fail when the current value
+    # drops below baseline / threshold.
+    for name in sorted(set(baseline_floors) & set(current_floors)):
+        floor = baseline_floors[name] / args.threshold
+        verdict = "FAIL" if current_floors[name] < floor else "ok"
+        print(f"{verdict:>4}  {name}: {baseline_floors[name]:,.2f} -> "
+              f"{current_floors[name]:,.2f}  (floor {floor:,.2f})")
+        if current_floors[name] < floor:
+            failures.append(name)
+
     for name in sorted(set(current) - set(baseline)):
         print(f" new  {name}: {current[name]:,.0f} ns (no baseline)")
+    for name in sorted(set(current_floors) - set(baseline_floors)):
+        print(f" new  {name}: {current_floors[name]:,.2f} (no baseline)")
     for name in sorted(set(baseline) - set(current)):
         print(f"gone  {name}: baseline only, not in current run")
 

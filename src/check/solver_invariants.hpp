@@ -136,6 +136,58 @@ inline void check_linear_solution(const net::LinearNetwork& network,
   }
 }
 
+/// Replays the full Algorithm 1 recurrence for ONE lane of a batched
+/// SoA solve and compares every stored quantity with exact == — the
+/// batch engine's contract is bit-identity with the scalar solver, so
+/// a miscompiled or misindexed SIMD lane surfaces here as a
+/// ContractViolation instead of a silently wrong answer.
+///
+/// Pointers are pre-offset to the lane. `w` advances `w_stride` doubles
+/// per chain row and `z` advances `z_stride` (the batch engine keeps
+/// instance data lane-major, stride 1, and solution state
+/// lane-interleaved, stride = number of lanes). `z` may be null when
+/// n == 1.
+inline void check_batch_lane(const double* w, std::size_t w_stride,
+                             const double* z, std::size_t z_stride,
+                             const double* alpha, const double* alpha_hat,
+                             const double* equivalent_w,
+                             const double* received, double makespan_value,
+                             std::size_t n, std::size_t stride,
+                             std::size_t lane) {
+  const auto at = [lane](const char* name, std::size_t i) {
+    return std::string(name) + " at lane " + std::to_string(lane) +
+           ", index " + std::to_string(i);
+  };
+  // Backward pass replay: exact scalar arithmetic, compared bit-for-bit.
+  double eqw = w[(n - 1) * w_stride];
+  DLS_CHECK(alpha_hat[(n - 1) * stride] == 1.0,
+            at("batch lane terminal fraction must be exactly 1", n - 1));
+  DLS_CHECK(equivalent_w[(n - 1) * stride] == eqw,
+            at("batch lane terminal equivalent time must be w_m", n - 1));
+  for (std::size_t i = n - 1; i-- > 0;) {
+    const double ah =
+        dlt::pair_alpha_hat(w[i * w_stride], z[i * z_stride], eqw);
+    eqw = ah * w[i * w_stride];
+    DLS_CHECK(alpha_hat[i * stride] == ah,
+              at("batch lane diverges from scalar alpha_hat", i));
+    DLS_CHECK(equivalent_w[i * stride] == eqw,
+              at("batch lane diverges from scalar equivalent_w", i));
+  }
+  DLS_CHECK(makespan_value == eqw,
+            "batch lane " + std::to_string(lane) +
+                " makespan diverges from the scalar reduction");
+  // Forward pass replay.
+  double remaining = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ah = alpha_hat[i * stride];
+    DLS_CHECK(received[i * stride] == remaining,
+              at("batch lane diverges from scalar received", i));
+    DLS_CHECK(alpha[i * stride] == remaining * ah,
+              at("batch lane diverges from scalar alpha", i));
+    remaining *= (1.0 - ah);
+  }
+}
+
 /// Throws ContractViolation unless rebidding every processor's own base
 /// rate reproduces the base solution exactly (the incremental solver's
 /// bit-identity claim). O(n^2); meant for DCHECK-tier wiring and tests.

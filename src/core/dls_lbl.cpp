@@ -154,6 +154,18 @@ const DlsLblResult& assess_compliant(const net::LinearNetwork& bid_network,
   return ws.result;
 }
 
+const DlsLblResult& assess_compliant_from_batch(
+    const net::LinearNetwork& bid_network, const dlt::BatchLinearSolver& batch,
+    std::size_t lane, std::span<const double> actual_rates,
+    const MechanismConfig& config, AssessWorkspace& ws) {
+  DLS_REQUIRE(batch.processors() == bid_network.size(),
+              "batch lane does not match the bid network's chain length");
+  batch.extract(lane, ws.result.solution);
+  fill_assessments(bid_network, actual_rates, /*computed_loads=*/{}, config,
+                   /*solution_found=*/true, ws.result);
+  return ws.result;
+}
+
 double utility_under_bid(const net::LinearNetwork& true_network,
                          std::size_t index, double bid, double actual_rate,
                          const MechanismConfig& config) {
@@ -176,16 +188,13 @@ CounterfactualMechanism::CounterfactualMechanism(
               "actual_rates size mismatch");
 }
 
-double CounterfactualMechanism::utility(std::size_t index, double bid,
-                                        double actual_rate) {
-  const std::size_t n = solver_.size();
-  DLS_REQUIRE(index >= 1 && index < n, "index must name a strategic worker");
-  DLS_REQUIRE(actual_rate > 0.0, "actual rate must be positive");
-
-  const dlt::CounterfactualSolver::Rebid r = solver_.rebid(index, bid);
-
-  // Mirror of assess_dls_lbl for the single queried processor under
-  // compliant execution (α̃ = α from the counterfactual bid solution).
+// Mirror of assess_dls_lbl for one queried processor under compliant
+// execution (α̃ = α from the counterfactual bid solution). Shared by the
+// single-bid and batched paths so they stay bit-identical by
+// construction.
+double CounterfactualMechanism::utility_from_rebid(
+    const dlt::CounterfactualSolver::Rebid& r, double actual_rate) const {
+  const std::size_t index = r.index;
   PaymentInputs in;
   in.predecessor_bid = solver_.w(index - 1);
   in.link_z = solver_.z(index);
@@ -194,19 +203,33 @@ double CounterfactualMechanism::utility(std::size_t index, double bid,
   in.computed = r.alpha;
   in.actual_rate = actual_rate;
   in.w_hat = config_.verify_actual_rates
-                 ? w_hat(/*terminal=*/index + 1 == n, bid, actual_rate,
-                         r.alpha_hat, r.equivalent_w)
+                 ? w_hat(/*terminal=*/index + 1 == solver_.size(), r.bid,
+                         actual_rate, r.alpha_hat, r.equivalent_w)
                  : r.equivalent_w;  // ablation: trust the bids blindly
   return evaluate_payment(in, config_).utility;
+}
+
+double CounterfactualMechanism::utility(std::size_t index, double bid,
+                                        double actual_rate) {
+  const std::size_t n = solver_.size();
+  DLS_REQUIRE(index >= 1 && index < n, "index must name a strategic worker");
+  DLS_REQUIRE(actual_rate > 0.0, "actual rate must be positive");
+  return utility_from_rebid(solver_.rebid(index, bid), actual_rate);
 }
 
 void CounterfactualMechanism::utility_curve(std::size_t index,
                                             std::span<const double> bids,
                                             std::span<double> utilities) {
+  const std::size_t n = solver_.size();
+  DLS_REQUIRE(index >= 1 && index < n, "index must name a strategic worker");
   DLS_REQUIRE(bids.size() == utilities.size(),
               "utility_curve output size mismatch");
+  const double actual_rate = actual_[index];
+  DLS_REQUIRE(actual_rate > 0.0, "actual rate must be positive");
+  rebid_scratch_.resize(bids.size());
+  solver_.rebid_batch(index, bids, rebid_scratch_);
   for (std::size_t k = 0; k < bids.size(); ++k) {
-    utilities[k] = utility(index, bids[k], actual_[index]);
+    utilities[k] = utility_from_rebid(rebid_scratch_[k], actual_rate);
   }
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/payment_rules.hpp"
+#include "dlt/batch.hpp"
 #include "dlt/counterfactual.hpp"
 #include "dlt/linear.hpp"
 #include "net/networks.hpp"
@@ -78,6 +79,18 @@ const DlsLblResult& assess_compliant(const net::LinearNetwork& bid_network,
                                      const MechanismConfig& config,
                                      AssessWorkspace& ws);
 
+/// Compliant assessment taking the allocation from lane `lane` of an
+/// already-solved BatchLinearSolver instead of re-running Algorithm 1.
+/// The lane must hold the solve of `bid_network` (the caller batched it
+/// there); payments are bit-identical to assess_compliant on the same
+/// network because the batch engine's lanes are bit-identical to the
+/// scalar solver. This is the serve dispatcher's payment path for
+/// batched cache misses.
+const DlsLblResult& assess_compliant_from_batch(
+    const net::LinearNetwork& bid_network, const dlt::BatchLinearSolver& batch,
+    std::size_t lane, std::span<const double> actual_rates,
+    const MechanismConfig& config, AssessWorkspace& ws);
+
 /// Counterfactual utility for strategyproofness sweeps: in the network of
 /// *true* rates `true_network`, processor `index` (>= 1) bids `bid` and
 /// executes at `actual_rate` (>= its true rate) while everyone else is
@@ -110,14 +123,20 @@ class CounterfactualMechanism {
   double utility(std::size_t index, double bid, double actual_rate);
 
   /// Batched case (i) of Lemma 5.3: vary the bid, execute at the base
-  /// actual rate. Writes utilities[k] = U_index(bids[k]).
+  /// actual rate. Writes utilities[k] = U_index(bids[k]), bit-identical
+  /// to a utility() loop but solved across bid lanes in one SoA pass
+  /// (CounterfactualSolver::rebid_batch).
   void utility_curve(std::size_t index, std::span<const double> bids,
                      std::span<double> utilities);
 
  private:
+  double utility_from_rebid(const dlt::CounterfactualSolver::Rebid& r,
+                            double actual_rate) const;
+
   dlt::CounterfactualSolver solver_;
   std::vector<double> actual_;
   MechanismConfig config_;
+  std::vector<dlt::CounterfactualSolver::Rebid> rebid_scratch_;
 };
 
 /// Upper bound on the profit any single deviation can extract from this

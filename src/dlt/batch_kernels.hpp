@@ -1,0 +1,368 @@
+// Lane kernels for the batched SoA solver (internal header).
+//
+// Every kernel applies ONE step of a per-instance recurrence across K
+// independent lanes (instances) stored contiguously, so the sequential
+// dependence stays along the chain while the lane dimension vectorizes.
+// Three implementations per step:
+//   * a portable scalar loop — the reference; the compiler may
+//     auto-vectorize it, which is fine because
+//   * the AVX2 kernel (x86-64, runtime-dispatched via
+//     __builtin_cpu_supports, so plain binaries stay safe on pre-AVX2
+//     CPUs) and
+//   * the NEON kernel (aarch64 baseline)
+//   perform the exact same IEEE-754 operations in the exact same
+//   association order as the scalar expressions in linear.cpp /
+//   counterfactual.cpp. add/sub/mul/div are correctly rounded
+//   elementwise, so every lane is bit-identical to a scalar solve — the
+//   property the batch tests and the src/check auditors assert with ==.
+//
+// Bit-identity discipline (do not "simplify" these expressions):
+//   * pair_alpha_hat computes num = tail + z and den = (w + tail) + z —
+//     the denominator associates LEFT. The kernels mirror that exactly.
+//   * No fused multiply-add: none of the expressions below form an
+//     a*b+c tree, so -ffp-contract cannot introduce an FMA on one path
+//     but not the other.
+//
+// The DLS_SIMD gate (CMake option, default ON) compiles the intrinsic
+// kernels out entirely when 0; pick_lane_kernel then always resolves to
+// the scalar loop.
+#pragma once
+
+#include <cstddef>
+
+#ifndef DLS_SIMD
+#define DLS_SIMD 1
+#endif
+
+#if DLS_SIMD && defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DLS_BATCH_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define DLS_BATCH_HAVE_AVX2 0
+#endif
+
+#if DLS_SIMD && defined(__aarch64__) && defined(__ARM_NEON)
+#define DLS_BATCH_HAVE_NEON 1
+#include <arm_neon.h>
+#else
+#define DLS_BATCH_HAVE_NEON 0
+#endif
+
+namespace dls::dlt::detail {
+
+/// Resolved lane implementation; chosen once per solve, not per step.
+enum class LaneKernel { kScalar, kAvx2, kNeon };
+
+inline bool lane_simd_compiled() noexcept {
+  return DLS_BATCH_HAVE_AVX2 != 0 || DLS_BATCH_HAVE_NEON != 0;
+}
+
+inline bool lane_simd_available() noexcept {
+#if DLS_BATCH_HAVE_AVX2
+  static const bool have = __builtin_cpu_supports("avx2") != 0;
+  return have;
+#elif DLS_BATCH_HAVE_NEON
+  return true;
+#else
+  return false;
+#endif
+}
+
+inline LaneKernel best_lane_kernel() noexcept {
+#if DLS_BATCH_HAVE_AVX2
+  if (lane_simd_available()) return LaneKernel::kAvx2;
+#elif DLS_BATCH_HAVE_NEON
+  return LaneKernel::kNeon;
+#endif
+  return LaneKernel::kScalar;
+}
+
+// ---------------------------------------------------------------------
+// Collapse step, per-lane rates (BatchLinearSolver backward pass).
+// Mirror of pair_alpha_hat + eq. (2.4) in solve_linear_boundary_into:
+//   ah   = (tail + z) / ((w + tail) + z)
+//   eqw  = ah * w
+//   tail = eqw
+
+inline void reduce_lanes_scalar(const double* w, const double* z,
+                                double* tail, double* ah, double* eqw,
+                                std::size_t count) {
+  for (std::size_t k = 0; k < count; ++k) {
+    const double num = tail[k] + z[k];
+    const double den = (w[k] + tail[k]) + z[k];
+    const double a = num / den;
+    const double e = a * w[k];
+    ah[k] = a;
+    eqw[k] = e;
+    tail[k] = e;
+  }
+}
+
+#if DLS_BATCH_HAVE_AVX2
+__attribute__((target("avx2"))) inline void reduce_lanes_avx2(
+    const double* w, const double* z, double* tail, double* ah, double* eqw,
+    std::size_t count) {
+  std::size_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    const __m256d wv = _mm256_loadu_pd(w + k);
+    const __m256d zv = _mm256_loadu_pd(z + k);
+    const __m256d tv = _mm256_loadu_pd(tail + k);
+    const __m256d num = _mm256_add_pd(tv, zv);
+    const __m256d den = _mm256_add_pd(_mm256_add_pd(wv, tv), zv);
+    const __m256d a = _mm256_div_pd(num, den);
+    const __m256d e = _mm256_mul_pd(a, wv);
+    _mm256_storeu_pd(ah + k, a);
+    _mm256_storeu_pd(eqw + k, e);
+    _mm256_storeu_pd(tail + k, e);
+  }
+  reduce_lanes_scalar(w + k, z + k, tail + k, ah + k, eqw + k, count - k);
+}
+#endif
+
+#if DLS_BATCH_HAVE_NEON
+inline void reduce_lanes_neon(const double* w, const double* z, double* tail,
+                              double* ah, double* eqw, std::size_t count) {
+  std::size_t k = 0;
+  for (; k + 2 <= count; k += 2) {
+    const float64x2_t wv = vld1q_f64(w + k);
+    const float64x2_t zv = vld1q_f64(z + k);
+    const float64x2_t tv = vld1q_f64(tail + k);
+    const float64x2_t num = vaddq_f64(tv, zv);
+    const float64x2_t den = vaddq_f64(vaddq_f64(wv, tv), zv);
+    const float64x2_t a = vdivq_f64(num, den);
+    const float64x2_t e = vmulq_f64(a, wv);
+    vst1q_f64(ah + k, a);
+    vst1q_f64(eqw + k, e);
+    vst1q_f64(tail + k, e);
+  }
+  reduce_lanes_scalar(w + k, z + k, tail + k, ah + k, eqw + k, count - k);
+}
+#endif
+
+inline void reduce_lanes(LaneKernel kernel, const double* w, const double* z,
+                         double* tail, double* ah, double* eqw,
+                         std::size_t count) {
+  switch (kernel) {
+#if DLS_BATCH_HAVE_AVX2
+    case LaneKernel::kAvx2:
+      reduce_lanes_avx2(w, z, tail, ah, eqw, count);
+      return;
+#endif
+#if DLS_BATCH_HAVE_NEON
+    case LaneKernel::kNeon:
+      reduce_lanes_neon(w, z, tail, ah, eqw, count);
+      return;
+#endif
+    default:
+      reduce_lanes_scalar(w, z, tail, ah, eqw, count);
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Collapse step, broadcast rates (CounterfactualSolver::rebid_batch
+// prefix: every lane shares the chain's w_i and z_{i+1}, only the
+// equivalent tail differs). Mirror of the rebid() loop body:
+//   ah   = (tail + z) / ((w + tail) + z)
+//   tail = ah * w
+
+inline void reduce_lanes_bcast_scalar(double w, double z, double* tail,
+                                      double* ah, std::size_t count) {
+  for (std::size_t k = 0; k < count; ++k) {
+    const double num = tail[k] + z;
+    const double den = (w + tail[k]) + z;
+    const double a = num / den;
+    ah[k] = a;
+    tail[k] = a * w;
+  }
+}
+
+#if DLS_BATCH_HAVE_AVX2
+__attribute__((target("avx2"))) inline void reduce_lanes_bcast_avx2(
+    double w, double z, double* tail, double* ah, std::size_t count) {
+  const __m256d wv = _mm256_set1_pd(w);
+  const __m256d zv = _mm256_set1_pd(z);
+  std::size_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    const __m256d tv = _mm256_loadu_pd(tail + k);
+    const __m256d num = _mm256_add_pd(tv, zv);
+    const __m256d den = _mm256_add_pd(_mm256_add_pd(wv, tv), zv);
+    const __m256d a = _mm256_div_pd(num, den);
+    _mm256_storeu_pd(ah + k, a);
+    _mm256_storeu_pd(tail + k, _mm256_mul_pd(a, wv));
+  }
+  reduce_lanes_bcast_scalar(w, z, tail + k, ah + k, count - k);
+}
+#endif
+
+#if DLS_BATCH_HAVE_NEON
+inline void reduce_lanes_bcast_neon(double w, double z, double* tail,
+                                    double* ah, std::size_t count) {
+  const float64x2_t wv = vdupq_n_f64(w);
+  const float64x2_t zv = vdupq_n_f64(z);
+  std::size_t k = 0;
+  for (; k + 2 <= count; k += 2) {
+    const float64x2_t tv = vld1q_f64(tail + k);
+    const float64x2_t num = vaddq_f64(tv, zv);
+    const float64x2_t den = vaddq_f64(vaddq_f64(wv, tv), zv);
+    const float64x2_t a = vdivq_f64(num, den);
+    vst1q_f64(ah + k, a);
+    vst1q_f64(tail + k, vmulq_f64(a, wv));
+  }
+  reduce_lanes_bcast_scalar(w, z, tail + k, ah + k, count - k);
+}
+#endif
+
+inline void reduce_lanes_bcast(LaneKernel kernel, double w, double z,
+                               double* tail, double* ah, std::size_t count) {
+  switch (kernel) {
+#if DLS_BATCH_HAVE_AVX2
+    case LaneKernel::kAvx2:
+      reduce_lanes_bcast_avx2(w, z, tail, ah, count);
+      return;
+#endif
+#if DLS_BATCH_HAVE_NEON
+    case LaneKernel::kNeon:
+      reduce_lanes_bcast_neon(w, z, tail, ah, count);
+      return;
+#endif
+    default:
+      reduce_lanes_bcast_scalar(w, z, tail, ah, count);
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Forward unroll step (steps 7-10 of Algorithm 1 across lanes). Mirror
+// of the scalar loop body:
+//   received  = remaining
+//   alpha     = remaining * ah
+//   remaining = remaining * (1 - ah)
+
+inline void unroll_lanes_scalar(const double* ah, double* remaining,
+                                double* received, double* alpha,
+                                std::size_t count) {
+  for (std::size_t k = 0; k < count; ++k) {
+    const double rem = remaining[k];
+    received[k] = rem;
+    alpha[k] = rem * ah[k];
+    remaining[k] = rem * (1.0 - ah[k]);
+  }
+}
+
+#if DLS_BATCH_HAVE_AVX2
+__attribute__((target("avx2"))) inline void unroll_lanes_avx2(
+    const double* ah, double* remaining, double* received, double* alpha,
+    std::size_t count) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  std::size_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    const __m256d av = _mm256_loadu_pd(ah + k);
+    const __m256d rem = _mm256_loadu_pd(remaining + k);
+    _mm256_storeu_pd(received + k, rem);
+    _mm256_storeu_pd(alpha + k, _mm256_mul_pd(rem, av));
+    _mm256_storeu_pd(remaining + k,
+                     _mm256_mul_pd(rem, _mm256_sub_pd(one, av)));
+  }
+  unroll_lanes_scalar(ah + k, remaining + k, received + k, alpha + k,
+                      count - k);
+}
+#endif
+
+#if DLS_BATCH_HAVE_NEON
+inline void unroll_lanes_neon(const double* ah, double* remaining,
+                              double* received, double* alpha,
+                              std::size_t count) {
+  const float64x2_t one = vdupq_n_f64(1.0);
+  std::size_t k = 0;
+  for (; k + 2 <= count; k += 2) {
+    const float64x2_t av = vld1q_f64(ah + k);
+    const float64x2_t rem = vld1q_f64(remaining + k);
+    vst1q_f64(received + k, rem);
+    vst1q_f64(alpha + k, vmulq_f64(rem, av));
+    vst1q_f64(remaining + k, vmulq_f64(rem, vsubq_f64(one, av)));
+  }
+  unroll_lanes_scalar(ah + k, remaining + k, received + k, alpha + k,
+                      count - k);
+}
+#endif
+
+inline void unroll_lanes(LaneKernel kernel, const double* ah,
+                         double* remaining, double* received, double* alpha,
+                         std::size_t count) {
+  switch (kernel) {
+#if DLS_BATCH_HAVE_AVX2
+    case LaneKernel::kAvx2:
+      unroll_lanes_avx2(ah, remaining, received, alpha, count);
+      return;
+#endif
+#if DLS_BATCH_HAVE_NEON
+    case LaneKernel::kNeon:
+      unroll_lanes_neon(ah, remaining, received, alpha, count);
+      return;
+#endif
+    default:
+      unroll_lanes_scalar(ah, remaining, received, alpha, count);
+      return;
+  }
+}
+
+/// Lane-product step for rebid_batch's forward pass:
+///   remaining *= (1 - ah)
+/// Mirror of `remaining *= (1.0 - ah_scratch_[i])` in rebid().
+inline void remaining_lanes_scalar(const double* ah, double* remaining,
+                                   std::size_t count) {
+  for (std::size_t k = 0; k < count; ++k) {
+    remaining[k] = remaining[k] * (1.0 - ah[k]);
+  }
+}
+
+#if DLS_BATCH_HAVE_AVX2
+__attribute__((target("avx2"))) inline void remaining_lanes_avx2(
+    const double* ah, double* remaining, std::size_t count) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  std::size_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    const __m256d av = _mm256_loadu_pd(ah + k);
+    const __m256d rem = _mm256_loadu_pd(remaining + k);
+    _mm256_storeu_pd(remaining + k,
+                     _mm256_mul_pd(rem, _mm256_sub_pd(one, av)));
+  }
+  remaining_lanes_scalar(ah + k, remaining + k, count - k);
+}
+#endif
+
+#if DLS_BATCH_HAVE_NEON
+inline void remaining_lanes_neon(const double* ah, double* remaining,
+                                 std::size_t count) {
+  const float64x2_t one = vdupq_n_f64(1.0);
+  std::size_t k = 0;
+  for (; k + 2 <= count; k += 2) {
+    const float64x2_t av = vld1q_f64(ah + k);
+    const float64x2_t rem = vld1q_f64(remaining + k);
+    vst1q_f64(remaining + k, vmulq_f64(rem, vsubq_f64(one, av)));
+  }
+  remaining_lanes_scalar(ah + k, remaining + k, count - k);
+}
+#endif
+
+inline void remaining_lanes(LaneKernel kernel, const double* ah,
+                            double* remaining, std::size_t count) {
+  switch (kernel) {
+#if DLS_BATCH_HAVE_AVX2
+    case LaneKernel::kAvx2:
+      remaining_lanes_avx2(ah, remaining, count);
+      return;
+#endif
+#if DLS_BATCH_HAVE_NEON
+    case LaneKernel::kNeon:
+      remaining_lanes_neon(ah, remaining, count);
+      return;
+#endif
+    default:
+      remaining_lanes_scalar(ah, remaining, count);
+      return;
+  }
+}
+
+}  // namespace dls::dlt::detail

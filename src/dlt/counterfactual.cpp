@@ -2,6 +2,7 @@
 
 #include "check/solver_invariants.hpp"
 #include "common/error.hpp"
+#include "dlt/batch_kernels.hpp"
 #include "obs/obs.hpp"
 
 namespace dls::dlt {
@@ -61,6 +62,77 @@ CounterfactualSolver::Rebid CounterfactualSolver::rebid(std::size_t index,
   r.alpha = remaining * r.alpha_hat;
   r.alpha_hat_pred = index > 0 ? ah_scratch_[index - 1] : 0.0;
   return r;
+}
+
+void CounterfactualSolver::rebid_batch(std::size_t index,
+                                       std::span<const double> bids,
+                                       std::span<Rebid> out) {
+  const std::size_t n = w_.size();
+  const std::size_t k = bids.size();
+  DLS_REQUIRE(index < n, "processor index out of range");
+  DLS_REQUIRE(out.size() == k, "rebid_batch output size mismatch");
+  if (k == 0) return;
+  DLS_SPAN_ARGS("solve.rebid_batch", "{\"j\":" + std::to_string(index) +
+                                         ",\"k\":" + std::to_string(k) + "}");
+  DLS_COUNT("solver.rebids", k);
+  DLS_COUNT("solver.batch.rebid_calls");
+  const detail::LaneKernel kernel = detail::best_lane_kernel();
+
+  batch_ah_.resize((index + 1) * k);
+  batch_eqw_.resize(k);
+  batch_remaining_.resize(k);
+
+  // Collapse step for the re-bid processor itself, per lane — same
+  // expressions as the scalar rebid() (pair_alpha_hat inlined so the
+  // lane loop stays dense; association order preserved exactly).
+  double* const ah_own = batch_ah_.data() + index * k;
+  if (index + 1 == n) {
+    for (std::size_t lane = 0; lane < k; ++lane) {
+      DLS_REQUIRE(bids[lane] > 0.0, "bid must be positive");
+      ah_own[lane] = 1.0;
+      batch_eqw_[lane] = bids[lane];
+    }
+  } else {
+    const double link_z = z(index + 1);
+    const double tail = base_.equivalent_w[index + 1];
+    const double num = tail + link_z;
+    for (std::size_t lane = 0; lane < k; ++lane) {
+      DLS_REQUIRE(bids[lane] > 0.0, "bid must be positive");
+      const double a = num / ((bids[lane] + tail) + link_z);
+      ah_own[lane] = a;
+      batch_eqw_[lane] = a * bids[lane];  // eq. (2.4)
+    }
+  }
+
+  // Prefix 0..index-1 across lanes: the chain's own w/z broadcast, only
+  // the equivalent tail differs per lane.
+  for (std::size_t i = index; i-- > 0;) {
+    detail::reduce_lanes_bcast(kernel, w_[i], z(i + 1), batch_eqw_.data(),
+                               batch_ah_.data() + i * k, k);
+  }
+
+  // Forward unroll in ascending order, matching the scalar product.
+  for (std::size_t lane = 0; lane < k; ++lane) batch_remaining_[lane] = 1.0;
+  for (std::size_t i = 0; i < index; ++i) {
+    detail::remaining_lanes(kernel, batch_ah_.data() + i * k,
+                            batch_remaining_.data(), k);
+  }
+
+  const double* const ah_pred =
+      index > 0 ? batch_ah_.data() + (index - 1) * k : nullptr;
+  for (std::size_t lane = 0; lane < k; ++lane) {
+    Rebid& r = out[lane];
+    r.index = index;
+    r.bid = bids[lane];
+    r.alpha_hat = ah_own[lane];
+    r.equivalent_w =
+        index + 1 == n ? bids[lane] : ah_own[lane] * bids[lane];
+    r.alpha = batch_remaining_[lane] * ah_own[lane];
+    r.alpha_hat_pred = ah_pred != nullptr ? ah_pred[lane] : 0.0;
+    // batch_eqw_ now holds w̄_0 per lane (= r.equivalent_w when the
+    // queried processor is the root).
+    r.makespan = batch_eqw_[lane];
+  }
 }
 
 CounterfactualSolver::Rebid CounterfactualSolver::rebid_allocation(

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "dlt/linear.hpp"
@@ -55,11 +56,27 @@ class CounterfactualSolver {
   Rebid rebid_allocation(std::size_t index, double bid,
                          std::vector<double>& alpha_out);
 
+  /// Batched rebid: out[k] = rebid(index, bids[k]) bit-for-bit, for all
+  /// candidate bids in lockstep. The prefix recurrence runs across bid
+  /// lanes in SoA layout (SIMD kernels under the DLS_SIMD gate), so a
+  /// sweep of K bids costs one O(index) pass instead of K — the
+  /// utility-curve hot path of CounterfactualMechanism. Requires
+  /// bids.size() == out.size(); allocation-free once scratch has warmed
+  /// to the lane count.
+  void rebid_batch(std::size_t index, std::span<const double> bids,
+                   std::span<Rebid> out);
+
  private:
   std::vector<double> w_;
   std::vector<double> z_;
   LinearSolution base_;
   std::vector<double> ah_scratch_;  ///< α̂_0..α̂_index under the rebid
+
+  // rebid_batch scratch, row-major across bid lanes: row i of
+  // batch_ah_ holds α̂_i for every lane.
+  std::vector<double> batch_ah_;
+  std::vector<double> batch_eqw_;
+  std::vector<double> batch_remaining_;
 };
 
 }  // namespace dls::dlt

@@ -304,8 +304,20 @@ void SchedulerService::process_batch(std::vector<Pending>& batch) {
   DLS_OBSERVE("serve.batch_size", static_cast<double>(batch.size()),
               {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
   std::vector<ScheduleResponse> responses(batch.size());
-  pool_->parallel_for(batch.size(), [&](std::size_t i) {
-    responses[i] = handle(batch[i]);
+  std::vector<SingleTask> singles;
+  std::vector<MissGroup> groups;
+  classify_window(batch, responses, singles, groups);
+  while (dispatch_scratch_.size() < groups.size()) {
+    dispatch_scratch_.push_back(std::make_unique<DispatchScratch>());
+  }
+  const std::size_t group_count = groups.size();
+  pool_->parallel_for(group_count + singles.size(), [&](std::size_t t) {
+    if (t < group_count) {
+      solve_group(groups[t], *dispatch_scratch_[t], batch, responses);
+    } else {
+      const SingleTask& task = singles[t - group_count];
+      responses[task.index] = handle(batch[task.index], &task);
+    }
   });
   // Responses are written serially, in admission order, after the
   // parallel solve — frame writes are atomic either way, but serial
@@ -324,7 +336,198 @@ void SchedulerService::process_batch(std::vector<Pending>& batch) {
   }
 }
 
-ScheduleResponse SchedulerService::handle(const Pending& pending) {
+void SchedulerService::classify_window(const std::vector<Pending>& batch,
+                                       std::vector<ScheduleResponse>& responses,
+                                       std::vector<SingleTask>& singles,
+                                       std::vector<MissGroup>& groups) {
+  if (config_.batch_min_lanes == 0) {
+    // Dispatch-window batching disabled: everything takes the classic
+    // per-request path, untouched.
+    singles.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      singles.push_back(SingleTask{i, /*looked_up=*/false, nullptr});
+    }
+    return;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const ScheduleRequest& request = batch[i].request;
+    ScheduleResponse& response = responses[i];
+    response.request_id = request.request_id;
+
+    // Same deadline rule handle() applies before touching the solver:
+    // an expired batchmate is answered here and never occupies a lane.
+    double deadline_us = request.options.deadline_us;
+    if (deadline_us <= 0.0) deadline_us = config_.default_deadline_us;
+    if (deadline_us > 0.0 &&
+        elapsed_us(batch[i].admitted_at, now) > deadline_us) {
+      response.status = ScheduleStatus::kExpired;
+      continue;
+    }
+
+    // Validate exactly as handle() would; invalid instances go to the
+    // single path so their kError response is produced by the same code.
+    try {
+      [[maybe_unused]] const net::LinearNetwork probe(request.w, request.z);
+    } catch (const dls::Error&) {
+      singles.push_back(SingleTask{i, /*looked_up=*/false, nullptr});
+      continue;
+    }
+
+    const codec::Bytes key = canonical_topology_key(request.w, request.z);
+    if (SolveCache::Value solution = cache_.lookup(key)) {
+      if (request.options.want_payments) {
+        // Payments rerun the mechanism even on a solution hit; keep
+        // that on the classic path (handing over the hit so the cache
+        // is not consulted twice).
+        singles.push_back(
+            SingleTask{i, /*looked_up=*/true, std::move(solution)});
+        continue;
+      }
+      response.status = ScheduleStatus::kOk;
+      response.cache_hit = true;
+      response.alpha = solution->alpha;
+      response.makespan = solution->makespan;
+      continue;
+    }
+
+    // Cache miss: group by chain length; identical topologies collapse
+    // into one lane (payment-carrying requests keep their own lane so
+    // each gets its own mechanism run).
+    const std::size_t chain = request.w.size();
+    MissGroup* group = nullptr;
+    for (MissGroup& g : groups) {
+      if (g.chain == chain) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.emplace_back();
+      group = &groups.back();
+      group->chain = chain;
+    }
+    if (!request.options.want_payments) {
+      bool aliased = false;
+      for (std::size_t lane = 0; lane < group->keys.size(); ++lane) {
+        if (group->keys[lane] == key) {
+          group->aliases.emplace_back(i, lane);
+          aliased = true;
+          break;
+        }
+      }
+      if (aliased) continue;
+    }
+    group->members.push_back(i);
+    group->keys.push_back(key);
+  }
+
+  // Undersized groups don't amortise the batch machinery; hand their
+  // members back to the per-request path (aliases justify keeping a
+  // group regardless — one solve still answers several requests).
+  for (auto it = groups.begin(); it != groups.end();) {
+    if (it->members.size() < config_.batch_min_lanes &&
+        it->aliases.empty()) {
+      for (const std::size_t i : it->members) {
+        // Classification already looked these up (known misses).
+        singles.push_back(SingleTask{i, /*looked_up=*/true, nullptr});
+      }
+      it = groups.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SchedulerService::solve_group(const MissGroup& group,
+                                   DispatchScratch& scratch,
+                                   const std::vector<Pending>& batch,
+                                   std::vector<ScheduleResponse>& responses) {
+  const std::size_t lanes = group.members.size();
+  DLS_SPAN_ARGS("serve.batch.solve",
+                "{\"m\":" + std::to_string(group.chain) +
+                    ",\"k\":" + std::to_string(lanes) + "}");
+  DLS_COUNT("serve.batch.groups");
+  DLS_COUNT("serve.batch.lanes", lanes);
+  if (!group.aliases.empty()) {
+    DLS_COUNT("serve.batch.dedup", group.aliases.size());
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.batch_groups;
+    stats_.batched += lanes + group.aliases.size();
+    stats_.batch_deduped += group.aliases.size();
+  }
+
+  try {
+    scratch.solver.begin(group.chain, lanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const ScheduleRequest& request = batch[group.members[lane]].request;
+      scratch.solver.set_instance(lane, request.w, request.z);
+    }
+    scratch.solver.solve();
+  } catch (const dls::Error& e) {
+    // A contract violation mid-batch poisons every lane equally; each
+    // member gets a typed error, aliases included.
+    const auto fail = [&](std::size_t i) {
+      ScheduleResponse& r = responses[i];
+      r = ScheduleResponse{};
+      r.request_id = batch[i].request.request_id;
+      r.status = ScheduleStatus::kError;
+      r.error = e.what();
+    };
+    for (const std::size_t i : group.members) fail(i);
+    for (const auto& [i, lane] : group.aliases) fail(i);
+    return;
+  }
+
+  std::vector<SolveCache::Value> solutions(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const std::size_t i = group.members[lane];
+    const ScheduleRequest& request = batch[i].request;
+    auto solved = std::make_shared<dlt::LinearSolution>();
+    scratch.solver.extract(lane, *solved);
+    solutions[lane] = std::move(solved);
+    cache_.insert(group.keys[lane], solutions[lane]);
+
+    ScheduleResponse& response = responses[i];
+    response.status = ScheduleStatus::kOk;
+    response.cache_hit = false;
+    response.alpha = solutions[lane]->alpha;
+    response.makespan = solutions[lane]->makespan;
+    if (request.options.want_payments) {
+      try {
+        const net::LinearNetwork network(request.w, request.z);
+        const core::DlsLblResult& assessment = core::assess_compliant_from_batch(
+            network, scratch.solver, lane, network.processing_times(),
+            config_.mechanism, scratch.assess);
+        response.payments.clear();
+        response.payments.reserve(assessment.processors.size());
+        for (const core::Assessment& a : assessment.processors) {
+          response.payments.push_back(a.money.payment);
+        }
+        response.total_payment = assessment.total_payment;
+      } catch (const dls::Error& e) {
+        response = ScheduleResponse{};
+        response.request_id = request.request_id;
+        response.status = ScheduleStatus::kError;
+        response.error = e.what();
+      }
+    }
+  }
+
+  for (const auto& [i, lane] : group.aliases) {
+    ScheduleResponse& response = responses[i];
+    response.request_id = batch[i].request.request_id;
+    response.status = ScheduleStatus::kOk;
+    response.cache_hit = false;
+    response.alpha = solutions[lane]->alpha;
+    response.makespan = solutions[lane]->makespan;
+  }
+}
+
+ScheduleResponse SchedulerService::handle(const Pending& pending,
+                                          const SingleTask* prefetched) {
   DLS_SPAN("serve.handle");
   const ScheduleRequest& request = pending.request;
   ScheduleResponse response;
@@ -342,7 +545,9 @@ ScheduleResponse SchedulerService::handle(const Pending& pending) {
   try {
     const net::LinearNetwork network(request.w, request.z);
     const codec::Bytes key = canonical_topology_key(request.w, request.z);
-    SolveCache::Value solution = cache_.lookup(key);
+    SolveCache::Value solution = prefetched != nullptr && prefetched->looked_up
+                                     ? prefetched->solution
+                                     : cache_.lookup(key);
     response.cache_hit = solution != nullptr;
     if (!solution) {
       auto solved = std::make_shared<dlt::LinearSolution>();

@@ -18,15 +18,15 @@
 //  * A dispatcher thread drains the queue in batches of at most
 //    `max_batch` and solves them concurrently on the exec::ThreadPool
 //    (the same work-stealing pool the sweep engine uses).
-//  * Before solving, each request's deadline (admission-relative,
-//    microseconds) is checked; an expired request is answered kExpired
-//    without touching the solver. Clients pair deadlines with the
-//    recovery layer's probe-backoff policy for retries (see client.hpp).
+//  * Before solving, each request's deadline (admission-relative, µs)
+//    is checked; an expired request is answered kExpired without
+//    touching the solver (clients pair deadlines with client.hpp's
+//    retry policy).
+//  * Same-length cache misses of one dispatch window coalesce into one
+//    SoA batch solve (dlt::BatchLinearSolver); responses stay
+//    bit-identical to per-request solves.
 //  * Solutions are memoised in a SolveCache keyed by the canonical
-//    (w, z) bytes; cached responses are bit-identical to fresh ones.
-//
-// Metrics (serve.*): requests, responses.{ok,shed,expired,error}, and
-// friends — catalogued in docs/OBSERVABILITY.md.
+//    (w, z) bytes. Metrics (serve.*): see docs/OBSERVABILITY.md.
 #pragma once
 
 #include <atomic>
@@ -52,6 +52,13 @@ struct ServiceConfig {
   std::size_t queue_capacity = 64;
   /// Requests solved per dispatcher wake-up (concurrently, on the pool).
   std::size_t max_batch = 8;
+  /// Batched-solve threshold: cache-miss requests in the same dispatch
+  /// window whose chains have equal length are coalesced into one
+  /// BatchLinearSolver solve when at least this many distinct instances
+  /// group together (duplicate topologies are deduplicated into one
+  /// lane regardless). Responses stay bit-identical to unbatched
+  /// solves. 0 disables dispatch-window batching entirely.
+  std::size_t batch_min_lanes = 2;
   /// Solve-cache capacity in resident solutions; 0 disables caching.
   std::size_t cache_capacity = 256;
   /// Deadline applied to requests that carry none; 0 = no deadline.
@@ -89,6 +96,10 @@ struct ServiceStats {
   std::uint64_t degraded = 0;       ///< kDegraded brown-out refusals
   std::uint64_t poison_frames = 0;  ///< frames recovered via resync
   std::uint64_t quarantined = 0;    ///< connections closed for poison
+  std::uint64_t batched = 0;        ///< requests answered via batch solves
+  std::uint64_t batch_groups = 0;   ///< batched solver runs dispatched
+  std::uint64_t batch_deduped = 0;  ///< duplicate topologies answered
+                                    ///< from a batchmate's lane
 };
 
 class SchedulerService {
@@ -145,9 +156,53 @@ class SchedulerService {
   bool try_brownout(const ScheduleRequest& request, Session* session);
   void dispatch_loop();
   void process_batch(std::vector<Pending>& batch);
+
+  /// Same-length cache misses of one dispatch window, coalesced into one
+  /// BatchLinearSolver run. `members[lane]` is the batch index solved in
+  /// `lane`; `aliases` are duplicate-topology requests answered from an
+  /// existing lane's solution instead of their own.
+  struct MissGroup {
+    std::size_t chain = 0;  ///< processors per instance
+    std::vector<std::size_t> members;
+    std::vector<codec::Bytes> keys;  ///< cache key per lane
+    std::vector<std::pair<std::size_t, std::size_t>> aliases;
+  };
+  /// Per-group reusable solver + assessment buffers, owned by the
+  /// dispatcher and handed to pool tasks one group each.
+  struct DispatchScratch {
+    dlt::BatchLinearSolver solver;
+    core::AssessWorkspace assess;
+  };
+
+  /// A request routed to the per-request path. When classification
+  /// already consulted the cache, its result rides along so handle()
+  /// does not look up (and count) a second time.
+  struct SingleTask {
+    std::size_t index = 0;
+    bool looked_up = false;
+    SolveCache::Value solution;  ///< null = known miss
+  };
+
+  /// Dispatcher-thread triage of one window: answers expired requests
+  /// and payment-free cache hits in place (into `responses`), groups
+  /// batchable cache misses by chain length, and routes everything else
+  /// (validation failures, cache hits wanting payments, leftovers of
+  /// undersized groups) to `singles` for the classic handle() path.
+  void classify_window(const std::vector<Pending>& batch,
+                       std::vector<ScheduleResponse>& responses,
+                       std::vector<SingleTask>& singles,
+                       std::vector<MissGroup>& groups);
+  /// Solves one miss group on the pool; fills member and alias
+  /// responses (bit-identical to handle() on each request alone).
+  void solve_group(const MissGroup& group, DispatchScratch& scratch,
+                   const std::vector<Pending>& batch,
+                   std::vector<ScheduleResponse>& responses);
   /// Solves (or refuses) one admitted request; pure apart from cache
   /// and metric updates, so batch items run concurrently on the pool.
-  ScheduleResponse handle(const Pending& pending);
+  /// `prefetched` carries classification's cache-lookup result when one
+  /// was made (so every request is looked up exactly once).
+  ScheduleResponse handle(const Pending& pending,
+                          const SingleTask* prefetched = nullptr);
   void send_response(Session* session, const ScheduleResponse& response);
   void count_response(const ScheduleResponse& response);
 
@@ -167,6 +222,10 @@ class SchedulerService {
 
   mutable std::mutex stats_mutex_;
   ServiceStats stats_;
+
+  /// Grown to the window's group count and reused across windows; only
+  /// the dispatcher (and the pool tasks it fans out per window) touch it.
+  std::vector<std::unique_ptr<DispatchScratch>> dispatch_scratch_;
 
   std::thread dispatcher_;
 };
