@@ -1,0 +1,51 @@
+#pragma once
+
+// Engineering-discipline annotations consumed by tools/dls_analyze.
+//
+// The repo's performance story rests on properties that dynamic tests
+// can only sample: "0 heap allocations per warmed solve" is asserted by
+// bench_perf_micro's alloc counters on the inputs the bench happens to
+// run, and TSan sees a deadlock only when the bad interleaving fires.
+// The whole-program analyzer (tools/dls_analyze/, a compile-commands
+// driven call-graph walk — see docs/STATIC_ANALYSIS.md) promotes them
+// to machine-checked static facts. This header defines the source
+// annotations it consumes.
+//
+// DLS_HOT_NOALLOC — placed on the DEFINITION of a hot-path function
+// (the line directly above the return type, or at the start of the
+// declarator). The analyzer proves that no call path from an annotated
+// function reaches operator new / malloc / an allocating std container
+// member, modulo the sanctioned cold branches enumerated (with reasons)
+// in tools/dls_analyze/waivers.conf. The proof runs against the
+// production configuration (DLS_CHECK_LEVEL=0, DLS_OBS_LEVEL=0): the
+// contract auditors and span macros have their own compile-time gates
+// and are allowed to allocate when compiled in.
+//
+// Discipline for annotated functions:
+//   * Precondition messages must be string literals. A formatted
+//     message (std::to_string + concatenation) lives in the failure
+//     branch but is still statically reachable; route it through a
+//     named [[noreturn]] helper so the waiver can name the cold path.
+//   * Growth of reused buffers (assign/resize/reserve/push_back on a
+//     warmed workspace vector) is sanctioned by the default waivers —
+//     the steady-state guarantee is "no un-amortized allocation", and
+//     the alloc-counter benches remain the dynamic complement.
+//   * Everything else that allocates — std::string construction,
+//     make_shared/make_unique, node-based container inserts, iostream —
+//     fails the analyze job with the offending call path.
+//
+// The macro itself only decorates codegen: `hot` moves the function
+// into the hot text section; under clang an `annotate` attribute makes
+// the marker visible to AST tooling (the libclang engine keys on it).
+// GCC builds carry no AST marker — the analyzer's GCC engine locates
+// annotations by scanning the source text for this macro's name, which
+// is why it must appear verbatim at the definition site (never spelled
+// through another macro).
+
+#if defined(__clang__)
+#define DLS_HOT_NOALLOC __attribute__((annotate("dls_hot_noalloc"), hot))
+#elif defined(__GNUC__)
+#define DLS_HOT_NOALLOC __attribute__((hot))
+#else
+#define DLS_HOT_NOALLOC
+#endif

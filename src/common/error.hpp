@@ -40,14 +40,25 @@ class ProtocolError : public Error {
 
 namespace detail {
 
+// Overloaded on the message type so a literal message never materializes
+// a std::string temporary in the CALLER: DLS_HOT_NOALLOC functions (see
+// common/discipline.hpp) use literal messages, and the temporary would
+// be a heap allocation charged to the hot function itself rather than to
+// this waivable cold helper.
 [[noreturn]] inline void throw_precondition(const char* expr,
-                                            const std::string& message,
+                                            const char* message,
                                             const std::source_location& loc) {
   std::ostringstream os;
   os << loc.file_name() << ':' << loc.line() << ": precondition `" << expr
      << "` failed";
-  if (!message.empty()) os << ": " << message;
+  if (message != nullptr && message[0] != '\0') os << ": " << message;
   throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_precondition(const char* expr,
+                                            const std::string& message,
+                                            const std::source_location& loc) {
+  throw_precondition(expr, message.c_str(), loc);
 }
 
 }  // namespace detail

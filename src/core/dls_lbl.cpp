@@ -1,6 +1,7 @@
 #include "core/dls_lbl.hpp"
 
 #include "check/mechanism_invariants.hpp"
+#include "common/discipline.hpp"
 #include "common/error.hpp"
 #include "obs/obs.hpp"
 
@@ -129,6 +130,7 @@ DlsLblResult assess_compliant(const net::LinearNetwork& bid_network,
   return result;
 }
 
+DLS_HOT_NOALLOC
 const DlsLblResult& assess_dls_lbl(const net::LinearNetwork& bid_network,
                                    std::span<const double> actual_rates,
                                    std::span<const double> computed_loads,
@@ -143,6 +145,7 @@ const DlsLblResult& assess_dls_lbl(const net::LinearNetwork& bid_network,
   return ws.result;
 }
 
+DLS_HOT_NOALLOC
 const DlsLblResult& assess_compliant(const net::LinearNetwork& bid_network,
                                      std::span<const double> actual_rates,
                                      const MechanismConfig& config,
@@ -154,6 +157,7 @@ const DlsLblResult& assess_compliant(const net::LinearNetwork& bid_network,
   return ws.result;
 }
 
+DLS_HOT_NOALLOC
 const DlsLblResult& assess_compliant_from_batch(
     const net::LinearNetwork& bid_network, const dlt::BatchLinearSolver& batch,
     std::size_t lane, std::span<const double> actual_rates,

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "check/solver_invariants.hpp"
+#include "common/discipline.hpp"
 #include "common/error.hpp"
 #include "dlt/batch_kernels.hpp"
 #include "obs/obs.hpp"
@@ -29,6 +30,16 @@ detail::LaneKernel resolve_kernel(BatchKernel kernel) {
       break;
   }
   return detail::best_lane_kernel();
+}
+
+/// Cold failure path of BatchLinearSolver::solve, kept out of the
+/// annotated hot function so the formatted message's string building is
+/// a named, waivable call (see common/discipline.hpp).
+[[noreturn]] void throw_lanes_unfilled(std::size_t filled,
+                                       std::size_t lanes) {
+  throw PreconditionError("every lane must be set before solving (filled " +
+                          std::to_string(filled) + " of " +
+                          std::to_string(lanes) + ")");
 }
 
 }  // namespace
@@ -116,11 +127,9 @@ void BatchLinearSolver::set_instance(std::size_t lane,
   }
 }
 
+DLS_HOT_NOALLOC
 void BatchLinearSolver::solve(BatchKernel kernel) {
-  DLS_REQUIRE(filled_count_ == lanes_,
-              "every lane must be set before solving (filled " +
-                  std::to_string(filled_count_) + " of " +
-                  std::to_string(lanes_) + ")");
+  if (filled_count_ != lanes_) throw_lanes_unfilled(filled_count_, lanes_);
   const std::size_t n = processors_;
   const std::size_t k = lanes_;
   DLS_SPAN_ARGS("solve.batch", "{\"m\":" + std::to_string(n) +
@@ -203,6 +212,7 @@ void BatchLinearSolver::audit_lanes() {
   }
 }
 
+DLS_HOT_NOALLOC
 void BatchLinearSolver::evaluate_finish_times() {
   DLS_REQUIRE(solved_, "evaluate_finish_times requires a solved batch");
   const std::size_t n = processors_;
@@ -234,6 +244,7 @@ void BatchLinearSolver::evaluate_finish_times() {
   }
 }
 
+DLS_HOT_NOALLOC
 void BatchLinearSolver::extract(std::size_t lane, LinearSolution& out) const {
   DLS_REQUIRE(solved_, "extract requires a solved batch");
   DLS_REQUIRE(lane < lanes_, "lane index out of range");

@@ -233,6 +233,30 @@ inline void reduce_lanes_bcast(LaneKernel kernel, double w, double z,
 }
 
 // ---------------------------------------------------------------------
+// Own-lane collapse for rebid_batch: the queried processor's OWN bid
+// varies per lane while the suffix tail and link are fixed, so the
+// recurrence reads
+//   ah  = (tail + z) / ((bid + tail) + z)
+//   eqw = ah * bid
+// This is pair_alpha_hat with the numerator hoisted (tail and z are
+// lane-invariant); the denominator association matches the scalar
+// rebid() exactly. It lives here — not inlined at the call site — so
+// the FP-determinism fence can verify there is exactly ONE spelling of
+// every α̂ recurrence in the batch layer. O(k) once per rebid_batch (the
+// O(n·k) passes are the SIMD kernels above), so a scalar loop suffices.
+
+inline void collapse_own_lanes_scalar(const double* bids, double tail,
+                                      double z, double* ah, double* eqw,
+                                      std::size_t count) {
+  const double num = tail + z;
+  for (std::size_t k = 0; k < count; ++k) {
+    const double a = num / ((bids[k] + tail) + z);
+    ah[k] = a;
+    eqw[k] = a * bids[k];  // eq. (2.4)
+  }
+}
+
+// ---------------------------------------------------------------------
 // Forward unroll step (steps 7-10 of Algorithm 1 across lanes). Mirror
 // of the scalar loop body:
 //   received  = remaining

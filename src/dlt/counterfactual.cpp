@@ -1,6 +1,7 @@
 #include "dlt/counterfactual.hpp"
 
 #include "check/solver_invariants.hpp"
+#include "common/discipline.hpp"
 #include "common/error.hpp"
 #include "dlt/batch_kernels.hpp"
 #include "obs/obs.hpp"
@@ -20,6 +21,7 @@ CounterfactualSolver::CounterfactualSolver(const net::LinearNetwork& network)
   }
 }
 
+DLS_HOT_NOALLOC
 CounterfactualSolver::Rebid CounterfactualSolver::rebid(std::size_t index,
                                                         double bid) {
   const std::size_t n = w_.size();
@@ -64,6 +66,7 @@ CounterfactualSolver::Rebid CounterfactualSolver::rebid(std::size_t index,
   return r;
 }
 
+DLS_HOT_NOALLOC
 void CounterfactualSolver::rebid_batch(std::size_t index,
                                        std::span<const double> bids,
                                        std::span<Rebid> out) {
@@ -82,26 +85,23 @@ void CounterfactualSolver::rebid_batch(std::size_t index,
   batch_eqw_.resize(k);
   batch_remaining_.resize(k);
 
-  // Collapse step for the re-bid processor itself, per lane — same
-  // expressions as the scalar rebid() (pair_alpha_hat inlined so the
-  // lane loop stays dense; association order preserved exactly).
+  // Collapse step for the re-bid processor itself, per lane — the
+  // collapse_own_lanes_scalar kernel replicates the scalar rebid()
+  // expressions with the association order preserved exactly.
+  for (std::size_t lane = 0; lane < k; ++lane) {
+    DLS_REQUIRE(bids[lane] > 0.0, "bid must be positive");
+  }
   double* const ah_own = batch_ah_.data() + index * k;
   if (index + 1 == n) {
     for (std::size_t lane = 0; lane < k; ++lane) {
-      DLS_REQUIRE(bids[lane] > 0.0, "bid must be positive");
       ah_own[lane] = 1.0;
       batch_eqw_[lane] = bids[lane];
     }
   } else {
-    const double link_z = z(index + 1);
-    const double tail = base_.equivalent_w[index + 1];
-    const double num = tail + link_z;
-    for (std::size_t lane = 0; lane < k; ++lane) {
-      DLS_REQUIRE(bids[lane] > 0.0, "bid must be positive");
-      const double a = num / ((bids[lane] + tail) + link_z);
-      ah_own[lane] = a;
-      batch_eqw_[lane] = a * bids[lane];  // eq. (2.4)
-    }
+    detail::collapse_own_lanes_scalar(bids.data(),
+                                      base_.equivalent_w[index + 1],
+                                      z(index + 1), ah_own,
+                                      batch_eqw_.data(), k);
   }
 
   // Prefix 0..index-1 across lanes: the chain's own w/z broadcast, only

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "check/solver_invariants.hpp"
+#include "common/discipline.hpp"
 #include "common/error.hpp"
 #include "common/tolerance.hpp"
 #include "obs/obs.hpp"
@@ -29,6 +30,7 @@ double pair_realized_w(double alpha_hat, double w_front, double z,
                   (1.0 - alpha_hat) * (z + tail_actual_w));
 }
 
+DLS_HOT_NOALLOC
 void solve_linear_boundary_into(const net::LinearNetwork& network,
                                 LinearSolution& out, bool want_steps) {
   const std::size_t n = network.size();
@@ -79,6 +81,7 @@ LinearSolution solve_linear_boundary(const net::LinearNetwork& network) {
   return sol;
 }
 
+DLS_HOT_NOALLOC
 const LinearSolution& solve_linear_boundary(const net::LinearNetwork& network,
                                             LinearSolverWorkspace& ws,
                                             bool want_steps) {
@@ -86,6 +89,7 @@ const LinearSolution& solve_linear_boundary(const net::LinearNetwork& network,
   return ws.solution;
 }
 
+DLS_HOT_NOALLOC
 void finish_times_into(const net::LinearNetwork& network,
                        std::span<const double> alpha,
                        std::vector<double>& out) {
@@ -130,6 +134,7 @@ double makespan(const net::LinearNetwork& network,
   return *std::max_element(t.begin(), t.end());
 }
 
+DLS_HOT_NOALLOC
 double makespan(const net::LinearNetwork& network,
                 std::span<const double> alpha, LinearSolverWorkspace& ws) {
   finish_times_into(network, alpha, ws.finish);

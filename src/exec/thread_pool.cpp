@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/discipline.hpp"
 #include "common/error.hpp"
 #include "obs/obs.hpp"
 
@@ -182,6 +183,7 @@ void ThreadPool::run_chunks(Job& job, std::size_t self) {
   t_inside_pool_body = false;
 }
 
+DLS_HOT_NOALLOC
 bool ThreadPool::pop_or_steal(Job& job, std::size_t self, Chunk& out) {
   {  // Own deque, LIFO: the most recently dealt range is cache-warmest.
     const std::scoped_lock lock(*job.deque_mutexes[self]);

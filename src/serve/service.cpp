@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/discipline.hpp"
 #include "net/networks.hpp"
 #include "obs/obs.hpp"
 #include "serve/frame.hpp"
@@ -322,7 +323,9 @@ void SchedulerService::process_batch(std::vector<Pending>& batch) {
   // Responses are written serially, in admission order, after the
   // parallel solve — frame writes are atomic either way, but serial
   // writes keep per-connection response order deterministic.
-  const auto now = std::chrono::steady_clock::now();
+  // [[maybe_unused]]: the only consumer is DLS_OBSERVE, which compiles
+  // out at DLS_OBS_LEVEL=0 and must not leave a warning behind.
+  [[maybe_unused]] const auto now = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < batch.size(); ++i) {
     count_response(responses[i]);
     if (responses[i].status == ScheduleStatus::kOk) {
@@ -439,6 +442,24 @@ void SchedulerService::classify_window(const std::vector<Pending>& batch,
   }
 }
 
+// The dispatcher's inner loop: stages every lane of a miss group into
+// the warmed batch solver and runs it. Split from solve_group so the
+// part that must stay allocation-free under load carries the
+// DLS_HOT_NOALLOC contract, while the response fan-out above it is free
+// to build strings and shared_ptrs.
+DLS_HOT_NOALLOC
+void SchedulerService::solve_group_lanes(const MissGroup& group,
+                                         DispatchScratch& scratch,
+                                         const std::vector<Pending>& batch) {
+  const std::size_t lanes = group.members.size();
+  scratch.solver.begin(group.chain, lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const ScheduleRequest& request = batch[group.members[lane]].request;
+    scratch.solver.set_instance(lane, request.w, request.z);
+  }
+  scratch.solver.solve();
+}
+
 void SchedulerService::solve_group(const MissGroup& group,
                                    DispatchScratch& scratch,
                                    const std::vector<Pending>& batch,
@@ -460,12 +481,7 @@ void SchedulerService::solve_group(const MissGroup& group,
   }
 
   try {
-    scratch.solver.begin(group.chain, lanes);
-    for (std::size_t lane = 0; lane < lanes; ++lane) {
-      const ScheduleRequest& request = batch[group.members[lane]].request;
-      scratch.solver.set_instance(lane, request.w, request.z);
-    }
-    scratch.solver.solve();
+    solve_group_lanes(group, scratch, batch);
   } catch (const dls::Error& e) {
     // A contract violation mid-batch poisons every lane equally; each
     // member gets a typed error, aliases included.

@@ -194,6 +194,8 @@ class SchedulerService {
                        std::vector<MissGroup>& groups);
   /// Solves one miss group on the pool; fills member and alias
   /// responses (bit-identical to handle() on each request alone).
+  void solve_group_lanes(const MissGroup& group, DispatchScratch& scratch,
+                         const std::vector<Pending>& batch);
   void solve_group(const MissGroup& group, DispatchScratch& scratch,
                    const std::vector<Pending>& batch,
                    std::vector<ScheduleResponse>& responses);

@@ -1,0 +1,67 @@
+// Pinned to DLS_CHECK_LEVEL=0 below, overriding whatever level the
+// build configured project-wide: compiled-out DLS_CHECK / DLS_DCHECK
+// must evaluate their arguments ZERO times — not once, not lazily,
+// never — while still parsing them (the sizeof trick), so a level
+// change cannot bit-rot call sites. This is its own tiny executable
+// rather than a gtest target because mixing TUs compiled at different
+// check levels into one binary would be an ODR violation; it links
+// none of the project libraries.
+#include <cstdio>
+
+#undef DLS_CHECK_LEVEL
+#define DLS_CHECK_LEVEL 0
+
+#include "check/contracts.hpp"
+
+static_assert(dls::check::compiled_level() == 0,
+              "this test only makes sense at DLS_CHECK_LEVEL=0; the "
+              "target-scoped compile definition did not apply");
+static_assert(!dls::check::enabled(1) && !dls::check::enabled(2),
+              "no contract tier may be enabled at level 0");
+
+namespace {
+
+int g_evaluations = 0;
+
+bool bump_and_pass() {
+  ++g_evaluations;
+  return true;
+}
+
+bool bump_and_fail() {
+  ++g_evaluations;
+  return false;
+}
+
+const char* bump_message() {
+  ++g_evaluations;
+  return "should never be built";
+}
+
+}  // namespace
+
+int main() {
+  // Passing, failing and message-side expressions alike: none may run.
+  DLS_CHECK(bump_and_pass(), "plain message");
+  DLS_CHECK(bump_and_fail(), bump_message());
+  DLS_DCHECK(bump_and_pass(), "plain message");
+  DLS_DCHECK(bump_and_fail(), bump_message());
+
+  // Macros in loop bodies are the common shape on hot paths; the
+  // counter must stay at zero across iterations too.
+  for (int i = 0; i < 1000; ++i) {
+    DLS_CHECK(bump_and_fail(), bump_message());
+    DLS_DCHECK((g_evaluations += 1) == 0, bump_message());
+  }
+
+  if (g_evaluations != 0) {
+    std::fprintf(stderr,
+                 "FAIL: compiled-out contracts evaluated arguments %d "
+                 "time(s); expected 0\n",
+                 g_evaluations);
+    return 1;
+  }
+  std::puts("ok: compiled-out DLS_CHECK/DLS_DCHECK evaluated arguments "
+            "0 times");
+  return 0;
+}

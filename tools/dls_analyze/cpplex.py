@@ -1,0 +1,105 @@
+"""A small C++ lexer: comments/literals stripped, identifier and
+punctuation tokens with line numbers. Shared by the lock-order and
+fp-fence checks, which reason about source shape rather than semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import List
+
+
+@dataclasses.dataclass
+class Token:
+    kind: str  # "id" | "num" | "punct"
+    value: str
+    line: int
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Replace comments and string/char literal BODIES with spaces,
+    preserving every newline (so line numbers survive) and the quotes
+    themselves (so the token stream keeps its shape)."""
+    out: List[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            span = text[i:j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in span))
+            i = j + 2
+        elif c == "R" and nxt == '"':
+            m = re.match(r'R"([^(\s]*)\(', text[i:])
+            if not m:
+                out.append(c)
+                i += 1
+                continue
+            close = ")" + m.group(1) + '"'
+            j = text.find(close, i + m.end())
+            j = n - len(close) if j == -1 else j
+            span = text[i:j + len(close)]
+            out.append('""' + "".join(
+                ch if ch == "\n" else " " for ch in span[2:]))
+            i = j + len(close)
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            body: List[str] = []
+            while j < n and text[j] != quote:
+                if text[j] == "\\" and j + 1 < n:
+                    body.append(" " if text[j + 1] != "\n" else "\n")
+                    body.append(" ")
+                    j += 2
+                else:
+                    body.append(text[j] if text[j] == "\n" else " ")
+                    j += 1
+            out.append(quote + "".join(body) + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+_TOKEN_RE = re.compile(r"[A-Za-z_]\w*|\d[\w.]*|::|->|\S")
+
+
+def lex(text: str) -> List[Token]:
+    """Tokenize ALREADY-STRIPPED text (call strip_comments_and_strings
+    first). Empty string literals left by stripping become '""' punct
+    tokens, which is fine for structural matching."""
+    tokens: List[Token] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for m in _TOKEN_RE.finditer(line):
+            v = m.group(0)
+            if v[0].isalpha() or v[0] == "_":
+                kind = "id"
+            elif v[0].isdigit():
+                kind = "num"
+            else:
+                kind = "punct"
+            tokens.append(Token(kind, v, lineno))
+    return tokens
+
+
+def match_close(tokens: List[Token], start: int,
+                open_tok: str = "(", close_tok: str = ")") -> int:
+    """Index of the token closing the bracket at tokens[start], or -1."""
+    depth = 0
+    for i in range(start, len(tokens)):
+        if tokens[i].value == open_tok:
+            depth += 1
+        elif tokens[i].value == close_tok:
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1

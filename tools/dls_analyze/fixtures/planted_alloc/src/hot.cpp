@@ -1,0 +1,20 @@
+// Seeded violation for the no-alloc check: a DLS_HOT_NOALLOC function
+// that copy-constructs a std::vector. The analyzer must refuse to prove
+// it and print a shortest call path ending at operator new.
+#include <vector>
+
+#include "common/discipline.hpp"
+
+namespace fixture {
+
+DLS_HOT_NOALLOC
+double planted_alloc_sum(const std::vector<double>& xs) {
+  std::vector<double> copy(xs);  // planted: the copy allocates
+  double total = 0.0;
+  for (double x : copy) {
+    total += x;
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Seeded violation for the lock-order check: two methods of the same
+// class acquire first_ and second_ in opposite orders. The analyzer
+// must report the cycle with both acquisition sites as evidence.
+#include <mutex>
+
+namespace fixture {
+
+class Inverted {
+ public:
+  int forward() {
+    std::lock_guard<std::mutex> outer(first_);
+    std::lock_guard<std::mutex> inner(second_);
+    return ++calls_;
+  }
+
+  int backward() {
+    std::lock_guard<std::mutex> outer(second_);  // planted: inverted order
+    std::lock_guard<std::mutex> inner(first_);
+    return ++calls_;
+  }
+
+ private:
+  std::mutex first_;
+  std::mutex second_;
+  int calls_ = 0;
+};
+
+}  // namespace fixture

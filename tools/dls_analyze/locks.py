@@ -1,0 +1,569 @@
+"""lock-order lattice: extract every mutex acquisition, build the
+acquired-while-held graph, fail on cycles.
+
+Two passes over a token stream (cpplex) of the concurrency-bearing
+directories (src/serve, src/exec, src/obs, src/protocol — or the whole
+tree when none of those exist, as in the self-test fixtures):
+
+  pass A  declaration scan — every `std::mutex` member keyed
+          `Class::member` via the lexical scope stack, plus every
+          function definition with its body's token range.
+  pass B  acquisition replay — lock_guard/scoped_lock/unique_lock
+          declarations (CTAD or explicit template args), raw
+          `.lock()`/`.unlock()` calls, and unique_lock toggles tracked
+          per guard variable; guards release at the closing brace of
+          their scope. While any mutex is held, acquiring another adds
+          an edge held -> acquired with file:line evidence.
+
+Interprocedural edges come from transitive acquisition summaries: a call
+to a scanned function while holding M adds M -> x for every x the callee
+(transitively) acquires. Call resolution never guesses: bare calls bind
+same-class first (then globally unique, minus STL-shaped homonyms like
+size/find/lock), `Class::m(...)` binds exactly, and `obj.m(...)` binds
+only when `obj` is a member or local whose declared type is a scanned
+class — an untyped receiver contributes no edge rather than a wrong one.
+
+The obs macros (DLS_COUNT/DLS_GAUGE_*/DLS_OBSERVE, DLS_SPAN*) acquire
+registry mutexes on their slow paths (first-use registration, buffer
+rotation); they are modelled as transient acquisitions of the obs
+mutexes so instrumentation inside a critical section still contributes
+ordering edges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from . import cpplex
+from .report import CheckResult, Finding
+
+GUARD_TYPES = {"lock_guard", "scoped_lock", "unique_lock", "shared_lock"}
+MUTEX_TYPES = {"mutex", "shared_mutex", "recursive_mutex",
+               "timed_mutex", "recursive_timed_mutex"}
+CONTROL = {"if", "for", "while", "switch", "do", "else", "try", "catch",
+           "return", "sizeof", "new", "delete", "throw", "static_assert",
+           "alignas", "alignof", "decltype", "noexcept"}
+
+# Macro -> (class, member) mutexes its expansion can acquire.
+OBS_MACRO_ALIASES = {
+    "DLS_COUNT": [("MetricsRegistry", "mutex_")],
+    "DLS_GAUGE_SET": [("MetricsRegistry", "mutex_")],
+    "DLS_GAUGE_MAX": [("MetricsRegistry", "mutex_")],
+    "DLS_OBSERVE": [("MetricsRegistry", "mutex_")],
+    "DLS_SPAN": [("TraceSink", "registry_mutex_"), ("ThreadBuffer", "mutex")],
+    "DLS_SPAN_ARGS": [("TraceSink", "registry_mutex_"),
+                      ("ThreadBuffer", "mutex")],
+    "DLS_SPAN_DETAIL": [("TraceSink", "registry_mutex_"),
+                        ("ThreadBuffer", "mutex")],
+}
+
+SCAN_DIRS = ("serve", "exec", "obs", "protocol")
+
+# Method names shared with standard containers: a receiver-qualified or
+# bare call to one of these never resolves through the "globally unique
+# name" rule (buckets_.size() must not bind to SolveCache::size).
+STL_HOMONYMS = {
+    "size", "empty", "begin", "end", "rbegin", "rend", "clear", "front",
+    "back", "data", "find", "count", "at", "insert", "erase", "emplace",
+    "push_back", "pop_back", "push_front", "pop_front", "reserve",
+    "resize", "swap", "get", "reset", "load", "store", "exchange",
+    "value", "c_str", "str", "what", "length", "substr", "append",
+    "lock", "unlock", "try_lock", "wait", "notify_one", "notify_all",
+}
+
+
+@dataclasses.dataclass
+class MutexDecl:
+    key: str  # "Class::member" or "<file-stem>::name" for free mutexes
+    member: str
+    cls: str
+    file: str
+    line: int
+
+
+@dataclasses.dataclass
+class FuncDef:
+    cls: str  # "" for free functions
+    name: str
+    file: str
+    line: int
+    body: Tuple[int, int]  # token index range [start, end) of the body
+    tokens: List[cpplex.Token] = dataclasses.field(repr=False,
+                                                   default_factory=list)
+
+
+@dataclasses.dataclass
+class Event:
+    kind: str  # "acquire" | "release" | "transient" | "call"
+    line: int
+    mutexes: List[str] = dataclasses.field(default_factory=list)
+    guard: str = ""
+    depth: int = 0
+    callee: Optional[Tuple[str, str]] = None
+
+
+class Registry:
+    def __init__(self) -> None:
+        self.decls: List[MutexDecl] = []
+        self.by_member: Dict[str, List[MutexDecl]] = {}
+
+    def add(self, decl: MutexDecl) -> None:
+        self.decls.append(decl)
+        self.by_member.setdefault(decl.member, []).append(decl)
+
+    def resolve(self, member: str, cls_hint: str) -> Optional[str]:
+        cands = self.by_member.get(member, [])
+        if not cands:
+            return None
+        for d in cands:
+            if d.cls == cls_hint:
+                return d.key
+        if len(cands) == 1:
+            return cands[0].key
+        return None  # ambiguous homonym; caller reports a warning
+
+    def has(self, cls: str, member: str) -> bool:
+        return any(d.cls == cls for d in self.by_member.get(member, []))
+
+
+def scan_files(src_root: str) -> List[Path]:
+    root = Path(src_root)
+    dirs = [root / d for d in SCAN_DIRS if (root / d).is_dir()]
+    if not dirs:
+        dirs = [root]
+    files: List[Path] = []
+    for d in dirs:
+        files += sorted(d.rglob("*.hpp")) + sorted(d.rglob("*.cpp"))
+    return files
+
+
+def _pass_a(path: Path, registry: Registry,
+            funcs: List[FuncDef]) -> List[cpplex.Token]:
+    text = cpplex.strip_comments_and_strings(
+        path.read_text(encoding="utf-8", errors="replace"))
+    toks = cpplex.lex(text)
+    rel = str(path)
+
+    # Scope stack entries: (kind, name) with kind in
+    # {"class", "namespace", "function", "brace"}.
+    stack: List[Tuple[str, str]] = []
+    stmt_start = 0  # first token of the currently accumulating statement
+    pending_class: Optional[str] = None
+    func_open: List[int] = []  # indices into `funcs` awaiting their "}"
+
+    def innermost_class() -> str:
+        for kind, name in reversed(stack):
+            if kind == "class":
+                return name
+        return ""
+
+    def in_function() -> bool:
+        return any(kind == "function" for kind, _ in stack)
+
+    i = 0
+    while i < len(toks):
+        t = toks[i]
+        v = t.value
+        if v in ("class", "struct") and (i == 0 or
+                                         toks[i - 1].value != "enum"):
+            for j in range(i + 1, min(i + 6, len(toks))):
+                if toks[j].kind == "id" and toks[j].value != "alignas":
+                    pending_class = toks[j].value
+                    break
+        elif v == ";":
+            if not in_function() and stack and stack[-1][0] == "class":
+                _collect_mutex_member(toks, stmt_start, i, innermost_class(),
+                                      rel, registry)
+            pending_class = None
+            stmt_start = i + 1
+        elif v == "{":
+            stmt = toks[stmt_start:i]
+            header_kind = _classify_brace(stmt, pending_class, stack)
+            if header_kind == "class":
+                stack.append(("class", pending_class or ""))
+            elif header_kind == "namespace":
+                name = stmt[-1].value if stmt and stmt[-1].kind == "id" else ""
+                stack.append(("namespace", name))
+            elif header_kind == "function":
+                cls, name = _function_name(stmt, innermost_class())
+                funcs.append(FuncDef(cls, name, rel, t.line,
+                                     (i + 1, -1), toks))
+                func_open.append(len(funcs) - 1)
+                stack.append(("function", name))
+            else:
+                stack.append(("brace", ""))
+            pending_class = None
+            stmt_start = i + 1
+        elif v == "}":
+            if stack:
+                kind, _ = stack.pop()
+                if kind == "function" and func_open:
+                    fi = func_open.pop()
+                    funcs[fi].body = (funcs[fi].body[0], i)
+            stmt_start = i + 1
+        i += 1
+    return toks
+
+
+def _classify_brace(stmt: List[cpplex.Token], pending_class: Optional[str],
+                    stack: List[Tuple[str, str]]) -> str:
+    in_func = any(kind == "function" for kind, _ in stack)
+    if in_func:
+        return "brace"
+    values = [t.value for t in stmt]
+    if pending_class and ("class" in values or "struct" in values):
+        return "class"
+    if "namespace" in values:
+        return "namespace"
+    if "enum" in values:
+        return "brace"
+    # A function definition header has a parameter list: a '(' whose
+    # matching ')' closes before the brace, and doesn't start with a
+    # control keyword (those only appear inside functions anyway).
+    if "(" in values and ")" in values:
+        first = next((t.value for t in stmt if t.kind == "id"), "")
+        if first not in CONTROL and "=" not in values[:2]:
+            return "function"
+    return "brace"
+
+
+def _function_name(stmt: List[cpplex.Token],
+                   class_scope: str) -> Tuple[str, str]:
+    first_paren = next((k for k, t in enumerate(stmt) if t.value == "("), -1)
+    if first_paren <= 0:
+        return class_scope, "<anonymous>"
+    k = first_paren - 1
+    # operator() / operator[] / operator== etc.
+    while k > 0 and stmt[k].kind != "id":
+        k -= 1
+    name = stmt[k].value if k >= 0 else "<anonymous>"
+    cls = class_scope
+    if k >= 2 and stmt[k - 1].value == "::" and stmt[k - 2].kind == "id":
+        cls = stmt[k - 2].value
+    return cls, name
+
+
+def _collect_mutex_member(toks: List[cpplex.Token], start: int, end: int,
+                          cls: str, file: str, registry: Registry) -> None:
+    stmt = toks[start:end]
+    values = [t.value for t in stmt]
+    if "(" in values:  # a member function declaration, not a data member
+        return
+    has_mutex_type = any(
+        values[k] == "std" and k + 2 < len(values) and
+        values[k + 1] == "::" and values[k + 2] in MUTEX_TYPES
+        for k in range(len(values)))
+    if not has_mutex_type:
+        return
+    # The declared name is the last identifier NOT reached through '::'
+    # (type components are) — this keeps a member literally named
+    # `mutex` (std::mutex mutex;) distinct from its type.
+    name = ""
+    line = stmt[0].line if stmt else 0
+    for k, t in enumerate(stmt):
+        if t.value in ("=", "{"):
+            break
+        if t.kind == "id" and (k == 0 or stmt[k - 1].value != "::"):
+            name = t.value
+            line = t.line
+    if not name or name in ("std", "mutable", "static", "const"):
+        return
+    scope = cls if cls else Path(file).stem
+    registry.add(MutexDecl(f"{scope}::{name}", name, scope, file, line))
+
+
+def collect_var_types(toks: List[cpplex.Token], class_names: Set[str],
+                      var_types: Dict[str, Optional[str]]) -> None:
+    """Map declared variable/member names to scanned-class types: any
+    statement-level `KnownClass name` pair types `name`. Conflicting
+    declarations across the tree demote the name to ambiguous (None)."""
+    for k in range(len(toks) - 1):
+        t, nxt = toks[k], toks[k + 1]
+        if t.kind != "id" or t.value not in class_names:
+            continue
+        if k > 0 and toks[k - 1].value in ("::", ".", "->", "class",
+                                           "struct", "new"):
+            continue
+        j = k + 1
+        while j < len(toks) and toks[j].value in ("*", "&", "&&", "const"):
+            j += 1
+        nxt = toks[j] if j < len(toks) else None
+        if nxt is None or nxt.kind != "id":
+            continue
+        if j + 1 < len(toks) and toks[j + 1].value in ("(", "::", "<"):
+            continue  # a function returning the class, or qualification
+        prev = var_types.get(nxt.value, t.value)
+        var_types[nxt.value] = t.value if prev == t.value else None
+
+
+def _body_events(fn: FuncDef, registry: Registry,
+                 method_index: Dict[str, List[Tuple[str, str]]],
+                 var_types: Dict[str, Optional[str]],
+                 warnings: List[Finding]) -> List[Event]:
+    toks = fn.tokens
+    start, end = fn.body
+    if end < 0:
+        end = len(toks)
+    events: List[Event] = []
+    guards: Dict[str, List[str]] = {}
+    depth = 0
+    i = start
+    while i < end:
+        t = toks[i]
+        v = t.value
+        if v == "{":
+            depth += 1
+        elif v == "}":
+            depth -= 1
+            events.append(Event("scope_close", t.line, depth=depth))
+        elif t.kind == "id" and v in GUARD_TYPES:
+            i = _guard_decl(fn, toks, i, end, depth, guards, events,
+                            registry, warnings)
+            continue
+        elif t.kind == "id" and v in OBS_MACRO_ALIASES and \
+                i + 1 < end and toks[i + 1].value == "(":
+            mutexes = [f"{c}::{m}" for c, m in OBS_MACRO_ALIASES[v]
+                       if registry.has(c, m)]
+            if mutexes:
+                events.append(Event("transient", t.line, mutexes))
+        elif t.kind == "id" and v in ("lock", "unlock", "try_lock") and \
+                i >= 2 and toks[i - 1].value in (".", "->") and \
+                i + 1 < end and toks[i + 1].value == "(":
+            recv = toks[i - 2].value if toks[i - 2].kind == "id" else ""
+            if recv in guards:
+                kind = "release" if v == "unlock" else "acquire"
+                events.append(Event(kind, t.line, guards[recv],
+                                    guard=recv, depth=depth))
+            else:
+                key = registry.resolve(recv, fn.cls)
+                if key:
+                    kind = "release" if v == "unlock" else "acquire"
+                    events.append(Event(kind, t.line, [key],
+                                        guard=f"<raw:{recv}>", depth=depth))
+        elif t.kind == "id" and i + 1 < end and toks[i + 1].value == "(" \
+                and v not in CONTROL:
+            recv_tok = toks[i - 1].value if i > start else ""
+            recv = ""
+            if recv_tok in (".", "->", "::") and i - 2 >= start and \
+                    toks[i - 2].kind == "id":
+                recv = toks[i - 2].value
+            callee = _resolve_call(v, fn.cls, recv_tok, recv,
+                                   method_index, var_types)
+            if callee and callee != (fn.cls, fn.name):
+                events.append(Event("call", t.line, callee=callee))
+        i += 1
+    return events
+
+
+def _guard_decl(fn: FuncDef, toks: List[cpplex.Token], i: int, end: int,
+                depth: int, guards: Dict[str, List[str]],
+                events: List[Event], registry: Registry,
+                warnings: List[Finding]) -> int:
+    j = i + 1
+    if j < end and toks[j].value == "<":
+        close = cpplex.match_close(toks, j, "<", ">")
+        if close != -1:
+            j = close + 1
+    if j >= end or toks[j].kind != "id":
+        return i + 1  # a mention, not a declaration (e.g. using-decl)
+    var = toks[j].value
+    if j + 1 >= end or toks[j + 1].value != "(":
+        # deferred guard: std::unique_lock<std::mutex> lk; — tracked,
+        # acquires on lk.lock()
+        guards[var] = []
+        return j + 1
+    close = cpplex.match_close(toks, j + 1)
+    if close == -1:
+        return j + 1
+    args = toks[j + 2:close]
+    mutexes: List[str] = []
+    deferred = any(t.value in ("defer_lock", "adopt_lock") for t in args)
+    for t in args:
+        if t.kind != "id" or t.value in ("std", "defer_lock", "adopt_lock",
+                                         "try_to_lock"):
+            continue
+        key = registry.resolve(t.value, fn.cls)
+        if key and key not in mutexes:
+            mutexes.append(key)
+        elif key is None and t.value in registry.by_member:
+            warnings.append(Finding(
+                "lock-order", "warning", fn.file, t.line,
+                f"ambiguous mutex member '{t.value}' in "
+                f"{fn.cls or '<free>'}::{fn.name} — multiple classes "
+                "declare it; acquisition not tracked"))
+    guards[var] = mutexes
+    if mutexes and not deferred:
+        events.append(Event("acquire", toks[i].line, mutexes,
+                            guard=var, depth=depth))
+    return close + 1
+
+
+def _resolve_call(name: str, cls_hint: str, recv_tok: str, recv: str,
+                  method_index: Dict[str, List[Tuple[str, str]]],
+                  var_types: Dict[str, Optional[str]]
+                  ) -> Optional[Tuple[str, str]]:
+    cands = method_index.get(name, [])
+    if not cands:
+        return None
+    if recv_tok == "::" and recv:  # Class::m(...) binds exactly
+        return (recv, name) if (recv, name) in cands else None
+    if recv_tok in (".", "->"):
+        if recv == "this":
+            pass  # same as a bare call on the current class
+        elif recv == "":
+            return None  # chained call, unknown receiver: no edge
+        else:
+            recv_cls = var_types.get(recv)
+            if recv_cls is None:
+                return None  # untyped or ambiguous receiver: no edge
+            return (recv_cls, name) if (recv_cls, name) in cands else None
+    for c in cands:
+        if c[0] == cls_hint:
+            return c
+    if len(cands) == 1 and name not in STL_HOMONYMS:
+        return cands[0]
+    return None
+
+
+def _replay(fn: FuncDef, events: List[Event],
+            trans: Dict[Tuple[str, str], Set[str]],
+            edges: Dict[Tuple[str, str], str]) -> None:
+    held: List[Tuple[str, int, str]] = []  # (mutex, depth, guard)
+
+    def held_keys() -> List[str]:
+        return [m for m, _, _ in held]
+
+    def add_edges(targets: List[str], line: int, note: str = "") -> None:
+        for h in held_keys():
+            for m in targets:
+                if m == h:
+                    continue
+                evidence = f"{fn.file}:{line} in " \
+                           f"{fn.cls + '::' if fn.cls else ''}{fn.name}{note}"
+                edges.setdefault((h, m), evidence)
+
+    for ev in events:
+        if ev.kind == "acquire":
+            add_edges(ev.mutexes, ev.line)
+            for m in ev.mutexes:
+                held.append((m, ev.depth, ev.guard))
+        elif ev.kind == "release":
+            for m in ev.mutexes:
+                for k in range(len(held) - 1, -1, -1):
+                    if held[k][0] == m and held[k][2] == ev.guard:
+                        held.pop(k)
+                        break
+        elif ev.kind == "scope_close":
+            held = [(m, d, g) for m, d, g in held if d <= ev.depth]
+        elif ev.kind == "transient":
+            add_edges(ev.mutexes, ev.line)
+        elif ev.kind == "call" and ev.callee in trans:
+            targets = sorted(trans[ev.callee] - set(held_keys()))
+            if targets:
+                callee = f"{ev.callee[0]}::{ev.callee[1]}" \
+                    if ev.callee[0] else ev.callee[1]
+                add_edges(targets, ev.line, f" (via call to {callee})")
+
+
+def _find_cycles(edges: Dict[Tuple[str, str], str]) -> List[List[str]]:
+    adj: Dict[str, List[str]] = {}
+    for (a, b) in edges:
+        adj.setdefault(a, []).append(b)
+        adj.setdefault(b, [])
+    cycles: List[List[str]] = []
+    color: Dict[str, int] = {}
+    stack: List[str] = []
+
+    def dfs(u: str) -> None:
+        color[u] = 1
+        stack.append(u)
+        for w in sorted(adj[u]):
+            if color.get(w, 0) == 0:
+                dfs(w)
+            elif color.get(w) == 1:
+                cycles.append(stack[stack.index(w):] + [w])
+        stack.pop()
+        color[u] = 2
+
+    for node in sorted(adj):
+        if color.get(node, 0) == 0:
+            dfs(node)
+    return cycles
+
+
+def run(src_root: str) -> CheckResult:
+    res = CheckResult(check="lock-order")
+    registry = Registry()
+    funcs: List[FuncDef] = []
+    for path in scan_files(src_root):
+        _pass_a(path, registry, funcs)
+
+    method_index: Dict[str, List[Tuple[str, str]]] = {}
+    for fn in funcs:
+        sig = (fn.cls, fn.name)
+        if sig not in method_index.setdefault(fn.name, []):
+            method_index[fn.name].append(sig)
+
+    class_names = {fn.cls for fn in funcs if fn.cls}
+    class_names |= {d.cls for d in registry.decls}
+    var_types: Dict[str, Optional[str]] = {}
+    seen_token_lists = []
+    for fn in funcs:
+        if not any(fn.tokens is t for t in seen_token_lists):
+            seen_token_lists.append(fn.tokens)
+    for toks in seen_token_lists:
+        collect_var_types(toks, class_names, var_types)
+
+    warnings: List[Finding] = []
+    fn_events = [(fn, _body_events(fn, registry, method_index, var_types,
+                                   warnings))
+                 for fn in funcs]
+    res.findings.extend(warnings)
+
+    # Transitive acquisition summaries (fixpoint over resolved calls).
+    direct: Dict[Tuple[str, str], Set[str]] = {}
+    calls: Dict[Tuple[str, str], Set[Tuple[str, str]]] = {}
+    for fn, events in fn_events:
+        sig = (fn.cls, fn.name)
+        d = direct.setdefault(sig, set())
+        c = calls.setdefault(sig, set())
+        for ev in events:
+            if ev.kind in ("acquire", "transient"):
+                d.update(ev.mutexes)
+            elif ev.kind == "call" and ev.callee:
+                c.add(ev.callee)
+    trans = {sig: set(m) for sig, m in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for sig, callees in calls.items():
+            for callee in callees:
+                extra = trans.get(callee, set()) - trans[sig]
+                if extra:
+                    trans[sig].update(extra)
+                    changed = True
+
+    edges: Dict[Tuple[str, str], str] = {}
+    for fn, events in fn_events:
+        _replay(fn, events, trans, edges)
+
+    cycles = _find_cycles(edges)
+    for cycle in cycles:
+        details = []
+        for a, b in zip(cycle, cycle[1:]):
+            details.append(f"{a} -> {b}   [{edges[(a, b)]}]")
+        res.findings.append(Finding(
+            "lock-order", "error", "", 0,
+            "lock-order cycle: " + " -> ".join(cycle) +
+            " — a thread holding the first mutex can block on the last "
+            "while another thread holds them in the reverse order",
+            details))
+    if not cycles:
+        res.proven.append(
+            f"lock lattice acyclic: {len(registry.decls)} mutex(es), "
+            f"{len(edges)} ordered edge(s)")
+        for (a, b), ev in sorted(edges.items()):
+            res.proven.append(f"{a} -> {b}   [{ev}]")
+    return res

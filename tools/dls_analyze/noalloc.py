@@ -1,0 +1,186 @@
+"""no-alloc reachability: DLS_HOT_NOALLOC functions never reach an
+allocator.
+
+Roots are located by scanning the source tree for the literal macro name
+at definition sites (the annotation policy in src/common/discipline.hpp
+requires it verbatim — GCC builds carry no AST marker) and binding each
+site to the nearest following function node in the merged call graph.
+From each root a BFS walks callees; reaching operator new / malloc /
+__cxa_allocate_exception is a violation reported with the shortest call
+path. Waived functions (sanctioned cold branches and amortized container
+growth — see waivers.conf) prune the walk: nothing reached only through
+a waived function is charged to the hot path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from . import callgraph, waivers
+from .report import CheckResult, Finding
+
+MACRO = "DLS_HOT_NOALLOC"
+
+# C-level allocation entry points, by symbol.
+_C_SINKS = {
+    "malloc", "calloc", "realloc", "reallocarray", "aligned_alloc",
+    "posix_memalign", "memalign", "valloc", "pvalloc", "strdup", "strndup",
+    "__cxa_allocate_exception",
+}
+
+# Growth of warmed buffers is amortized away by the arena discipline
+# (reserve up front, reuse across solves); the steady-state guarantee is
+# "no un-amortized allocation", with bench_perf_micro's live allocation
+# counters as the dynamic complement. Cold [[noreturn]] error helpers
+# are allowed to build their formatted messages.
+DEFAULT_WAIVERS = [
+    ("std::vector<*>::reserve*",
+     "arena pre-sizing; amortized away after warm-up"),
+    ("*::_M_fill_assign*",
+     "vector::assign growth of a warmed buffer (first touch only)"),
+    ("*::_M_default_append*",
+     "vector::resize growth of a warmed buffer (first touch only)"),
+    ("*::_M_fill_insert*",
+     "vector::insert growth of a warmed buffer (first touch only)"),
+    ("*::_M_realloc_insert*",
+     "vector::push_back growth of a warmed buffer (first touch only)"),
+    ("*::_M_realloc_append*",
+     "vector::push_back growth of a warmed buffer (first touch only)"),
+    ("*::_M_range_initialize*",
+     "container construction happens before the hot loop"),
+    ("dls::detail::throw_precondition*",
+     "[[noreturn]] cold path of DLS_REQUIRE; never taken on valid input"),
+    ("dls::check::detail::fail*",
+     "[[noreturn]] cold path of DLS_CHECK; compiled out at level 0 anyway"),
+    ("std::__throw_*",
+     "libstdc++ [[noreturn]] cold branches (bad_alloc, length_error, ...)"),
+]
+
+
+def _is_sink(node: callgraph.Node) -> bool:
+    m = node.mangled
+    if m in _C_SINKS:
+        return True
+    # _Znwm/_Znam operator new families; placement forms (…Pv…) are
+    # non-allocating and always inlined anyway.
+    if (m.startswith("_Znwm") or m.startswith("_Znam")) and "Pv" not in m:
+        return True
+    return False
+
+
+@dataclasses.dataclass
+class Annotation:
+    file: Path
+    line: int
+
+
+def find_annotations(src_root: str) -> List[Annotation]:
+    out = []
+    root = Path(src_root)
+    for path in sorted(root.rglob("*")):
+        if path.suffix not in (".cpp", ".hpp", ".h", ".cc"):
+            continue
+        if path.name == "discipline.hpp":
+            continue  # the macro's own definition and docs
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8", errors="replace")
+                .splitlines(), start=1):
+            if MACRO not in line:
+                continue
+            if line.lstrip().startswith("//"):
+                continue
+            out.append(Annotation(path.resolve(), lineno))
+    return out
+
+
+def _bind(ann: Annotation, graph: callgraph.CallGraph,
+          window: int = 8) -> List[str]:
+    """Graph nodes defined at the annotation site: same file, nearest
+    definition line within `window` lines below the macro."""
+    best_line = None
+    best: List[str] = []
+    for key, node in graph.nodes.items():
+        if not node.defined or not node.file:
+            continue
+        try:
+            node_file = Path(node.file).resolve()
+        except OSError:
+            continue
+        if node_file != ann.file:
+            continue
+        if not ann.line <= node.line <= ann.line + window:
+            continue
+        if best_line is None or node.line < best_line:
+            best_line = node.line
+            best = [key]
+        elif node.line == best_line:
+            best.append(key)
+    return best
+
+
+def run(src_root: str, graph: callgraph.CallGraph,
+        extra: List[waivers.Waiver]) -> CheckResult:
+    res = CheckResult(check="noalloc")
+    all_waivers = [waivers.Waiver("noalloc", p, r, "<built-in>")
+                   for p, r in DEFAULT_WAIVERS]
+    all_waivers += extra
+    wset = waivers.WaiverSet(all_waivers, "noalloc")
+
+    annotations = find_annotations(src_root)
+    if not annotations:
+        res.findings.append(Finding(
+            "noalloc", "error", src_root, 0,
+            f"no {MACRO} annotations found under the source root"))
+        return res
+
+    def pruned(key: str) -> bool:
+        node = graph.nodes.get(key)
+        dem = node.demangled if node else key
+        return wset.match(dem, key) is not None
+
+    def sink(key: str) -> bool:
+        node = graph.nodes.get(key)
+        return node is not None and _is_sink(node)
+
+    proved = 0
+    for ann in annotations:
+        rel = _relpath(ann.file, src_root)
+        roots = _bind(ann, graph)
+        if not roots:
+            res.findings.append(Finding(
+                "noalloc", "error", rel, ann.line,
+                f"{MACRO} annotation does not match any compiled function "
+                "definition (TU missing from the compile database, or the "
+                "macro is not directly above the definition)"))
+            continue
+        for root in roots:
+            path = callgraph.shortest_path(graph, root, sink, pruned)
+            name = graph.name(root)
+            if path is None:
+                proved += 1
+                res.proven.append(name)
+                continue
+            detail = []
+            for step, (key, site) in enumerate(path):
+                prefix = "   " * min(step, 6) + ("-> " if step else "")
+                where = f"  [{site}]" if site else ""
+                detail.append(f"{prefix}{graph.name(key)}{where}")
+            sink_name = graph.name(path[-1][0])
+            res.findings.append(Finding(
+                "noalloc", "error", rel, ann.line,
+                f"{name} is {MACRO} but can reach {sink_name}; "
+                "call path (shortest):", detail))
+    if proved:
+        res.proven.insert(
+            0, f"{proved} annotated function(s) allocation-free under "
+               "DLS_CHECK_LEVEL=0 / DLS_OBS_LEVEL=0")
+    return res
+
+
+def _relpath(path: Path, src_root: str) -> str:
+    try:
+        return str(path.relative_to(Path(src_root).resolve().parent))
+    except ValueError:
+        return str(path)

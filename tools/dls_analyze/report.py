@@ -1,0 +1,81 @@
+"""Findings model and rendering shared by every check."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import List, Optional
+
+
+@dataclasses.dataclass
+class Finding:
+    """One diagnostic. `details` carries the evidence trail (a call path,
+    a cycle walk, ...) rendered as indented lines under the message."""
+
+    check: str
+    severity: str  # "error" | "warning"
+    file: str
+    line: int
+    message: str
+    details: List[str] = dataclasses.field(default_factory=list)
+
+    def location(self) -> str:
+        if self.line > 0:
+            return f"{self.file}:{self.line}"
+        return self.file or "<project>"
+
+
+@dataclasses.dataclass
+class CheckResult:
+    """Findings plus the positive facts a check established (shown so a
+    green run documents what was actually proven, not just 'no output')."""
+
+    check: str
+    findings: List[Finding] = dataclasses.field(default_factory=list)
+    proven: List[str] = dataclasses.field(default_factory=list)
+
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+
+def render_text(results: List["CheckResult"]) -> str:
+    out: List[str] = []
+    total_errors = 0
+    for res in results:
+        errors = res.errors()
+        warnings = [f for f in res.findings if f.severity != "error"]
+        total_errors += len(errors)
+        status = "FAIL" if errors else "ok"
+        out.append(f"[{res.check}] {status}: {len(errors)} error(s), "
+                   f"{len(warnings)} warning(s)")
+        for fact in res.proven:
+            out.append(f"  proved: {fact}")
+        for f in res.findings:
+            out.append(f"  {f.severity}: {f.location()}: {f.message}")
+            for line in f.details:
+                out.append(f"      {line}")
+    out.append("")
+    if total_errors:
+        out.append(f"dls_analyze: {total_errors} error(s)")
+    else:
+        out.append("dls_analyze: clean")
+    return "\n".join(out)
+
+
+def to_json(results: List["CheckResult"], path: Optional[str]) -> str:
+    payload = {
+        "results": [
+            {
+                "check": res.check,
+                "proven": res.proven,
+                "findings": [dataclasses.asdict(f) for f in res.findings],
+            }
+            for res in results
+        ],
+        "errors": sum(len(res.errors()) for res in results),
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if path:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    return text

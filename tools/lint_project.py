@@ -15,6 +15,13 @@ Rules (library code = everything under src/):
                        examples/, bench/ and tools/ own a terminal.
   no-using-namespace   no `using namespace std` anywhere (headers or
                        sources) — it leaks into every includer.
+  include-hygiene      no <iostream> in src/ headers (it drags static
+                       initializers and the whole locale machinery into
+                       every includer; sources may include it, headers
+                       take std::ostream& via <iosfwd>), and no
+                       parent-relative `#include "../"` paths in src/ —
+                       includes are rooted at src/ so files can move
+                       without rewriting their includers.
 
 A finding can be waived for one line with a trailing comment naming the
 rule, e.g. `// lint:allow(no-stdout-in-library): CLI entry point`.
@@ -61,6 +68,11 @@ CONTENT_RULES = [
 # Which rules apply outside src/ (library-only rules are scoped there).
 EVERYWHERE_RULES = {"no-using-namespace"}
 
+# include-hygiene patterns (src/ only; the header half applies to
+# .hpp/.h, the parent-relative half to every src/ file).
+IOSTREAM_INCLUDE_RE = re.compile(r'#\s*include\s*<iostream>')
+PARENT_INCLUDE_RE = re.compile(r'#\s*include\s*"\.\./')
+
 
 def iter_source_files(root: Path) -> list[Path]:
     files: list[Path] = []
@@ -96,6 +108,19 @@ def lint_file(path: Path, root: Path) -> list[str]:
 
     for lineno, line in enumerate(lines, start=1):
         waived = {m.group(1) for m in ALLOW_RE.finditer(line)}
+        if in_library and "include-hygiene" not in waived:
+            if path.suffix in {".hpp", ".h"} and \
+                    IOSTREAM_INCLUDE_RE.search(line):
+                findings.append(
+                    f"{rel}:{lineno}: [include-hygiene] <iostream> in a "
+                    "header drags static initializers into every "
+                    "includer; take std::ostream& and include <iosfwd>"
+                )
+            if PARENT_INCLUDE_RE.search(line):
+                findings.append(
+                    f"{rel}:{lineno}: [include-hygiene] parent-relative "
+                    "include; root the path at src/ instead"
+                )
         for name, pattern, message in CONTENT_RULES:
             if name not in EVERYWHERE_RULES and not in_library:
                 continue
