@@ -27,6 +27,7 @@ shift $(( $# > 2 ? 2 : $# ))
 bench_bins=(
   "$build_dir/bench/bench_perf_micro"
   "$build_dir/bench/bench_serve_throughput"
+  "$build_dir/bench/bench_serve_sharded"
 )
 for bench_bin in "${bench_bins[@]}"; do
   if [[ ! -x "$bench_bin" ]]; then

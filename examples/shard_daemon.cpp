@@ -1,0 +1,205 @@
+// Multi-shard scheduler daemon over real sockets.
+//
+// Two modes:
+//
+//  * `shard_daemon` (no arguments) — self-contained demo: boots a
+//    3-shard federation behind a ShardRouter, exposes it on an
+//    ephemeral TCP socket, and drives a client through cold solve /
+//    warm cache hit / replicated quorum solve, printing the federation
+//    counters. Exits 0 when the warm answer is bit-identical.
+//
+//  * `shard_daemon --listen tcp|unix:PATH [--shards N]
+//    [--replication R] [--cache N]` — long-running daemon for the
+//    multi-process conformance and soak tests: prints
+//    "LISTENING <endpoint>" on stdout once accepting, serves until
+//    stdin reaches EOF (the parent closing the pipe is the shutdown
+//    signal), then prints final counters and exits.
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/router.hpp"
+#include "serve/service.hpp"
+#include "serve/socket.hpp"
+
+namespace {
+
+struct Federation {
+  std::vector<std::unique_ptr<dls::serve::SchedulerService>> shards;
+  std::unique_ptr<dls::serve::ShardRouter> router;
+};
+
+Federation make_federation(std::size_t shard_count, std::size_t replication,
+                           std::size_t cache_capacity) {
+  Federation fed;
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    dls::serve::ServiceConfig config;
+    config.cache_capacity = cache_capacity;
+    fed.shards.push_back(
+        std::make_unique<dls::serve::SchedulerService>(config));
+  }
+  dls::serve::RouterConfig router;
+  router.shard_count = shard_count;
+  router.replication = replication;
+  auto* shards = &fed.shards;
+  router.connect = [shards](std::size_t shard) {
+    return std::make_unique<dls::serve::PipeEnd>(
+        (*shards)[shard]->connect());
+  };
+  for (auto& shard : fed.shards) router.local.push_back(shard.get());
+  fed.router = std::make_unique<dls::serve::ShardRouter>(router);
+  return fed;
+}
+
+void print_counters(const Federation& fed) {
+  const dls::serve::RouterStats stats = fed.router->stats();
+  std::printf("router: received=%" PRIu64 " inline=%" PRIu64
+              " forwarded=%" PRIu64 " ok=%" PRIu64 " refused=%" PRIu64
+              " quorum{checked=%" PRIu64 " agreed=%" PRIu64
+              " divergence=%" PRIu64 "}\n",
+              stats.received, stats.inline_hits, stats.forwarded,
+              stats.answered_ok, stats.refused, stats.quorum_checked,
+              stats.quorum_agreed, stats.quorum_divergence);
+  for (std::size_t i = 0; i < fed.shards.size(); ++i) {
+    const dls::serve::ServiceStats s = fed.shards[i]->stats();
+    std::printf("shard %zu: received=%" PRIu64 " ok=%" PRIu64
+                " cache{hits=%" PRIu64 " misses=%" PRIu64 "}\n",
+                i, s.received, s.ok, fed.shards[i]->cache().hits(),
+                fed.shards[i]->cache().misses());
+  }
+}
+
+/// Accepts client connections until the listener is closed.
+void accept_loop(dls::serve::SocketListener* listener,
+                 dls::serve::ShardRouter* router) {
+  while (listener->valid()) {
+    auto client = listener->accept(/*timeout_s=*/0.25);
+    if (client) router->adopt(std::move(client));
+  }
+}
+
+int run_daemon(const std::string& listen, std::size_t shard_count,
+               std::size_t replication, std::size_t cache_capacity) {
+  Federation fed =
+      make_federation(shard_count, replication, cache_capacity);
+  dls::serve::SocketListener listener =
+      listen.rfind("unix:", 0) == 0
+          ? dls::serve::SocketListener::listen_unix(listen.substr(5))
+          : dls::serve::SocketListener::listen_tcp(0);
+  std::printf("LISTENING %s\n", listener.endpoint().c_str());
+  std::fflush(stdout);
+
+  std::thread acceptor(accept_loop, &listener, fed.router.get());
+
+  // Serve until the parent closes our stdin — the portable "please
+  // exit" signal for a fork/exec'd test daemon.
+  char buf[64];
+  for (;;) {
+    const ssize_t n = ::read(STDIN_FILENO, buf, sizeof(buf));
+    if (n <= 0) break;
+  }
+  listener.close();
+  acceptor.join();
+  fed.router->stop();
+  for (auto& shard : fed.shards) shard->stop();
+  print_counters(fed);
+  return 0;
+}
+
+int run_demo() {
+  std::printf("=== shard_daemon: sharded federation over TCP ===\n\n");
+  Federation fed = make_federation(/*shard_count=*/3, /*replication=*/1,
+                                   /*cache_capacity=*/64);
+  dls::serve::SocketListener listener =
+      dls::serve::SocketListener::listen_tcp(0);
+  std::printf("listening on %s\n", listener.endpoint().c_str());
+  std::thread acceptor(accept_loop, &listener, fed.router.get());
+
+  dls::serve::SchedulerClient client(
+      dls::serve::connect_endpoint(listener.endpoint()));
+  const std::vector<double> w = {1.0, 1.2, 0.9, 1.1};
+  const std::vector<double> z = {0.15, 0.1, 0.2};
+
+  const auto cold = client.schedule(w, z);
+  const auto warm = client.schedule(w, z);
+  const bool identical =
+      cold.status == dls::serve::ScheduleStatus::kOk &&
+      warm.status == dls::serve::ScheduleStatus::kOk &&
+      cold.alpha == warm.alpha && cold.makespan == warm.makespan;
+  std::printf("cold status=%s makespan=%.6f\n",
+              dls::serve::to_string(cold.status).c_str(), cold.makespan);
+  std::printf("warm status=%s cache_served=%d\n",
+              dls::serve::to_string(warm.status).c_str(),
+              warm.cache_hit ? 1 : 0);
+  std::printf("bit-identical: %s\n\n", identical ? "yes" : "NO (bug)");
+
+  // A replicated federation cross-checks every solve across two shards.
+  Federation quorum = make_federation(/*shard_count=*/3, /*replication=*/2,
+                                      /*cache_capacity=*/64);
+  dls::serve::SchedulerClient qclient(quorum.router->connect());
+  const auto checked = qclient.schedule(w, z);
+  std::printf("replicated solve status=%s (quorum checked=%" PRIu64
+              ", divergence=%" PRIu64 ")\n\n",
+              dls::serve::to_string(checked.status).c_str(),
+              quorum.router->stats().quorum_checked,
+              quorum.router->stats().quorum_divergence);
+
+  print_counters(fed);
+
+  client.close();
+  qclient.close();
+  listener.close();
+  acceptor.join();
+  fed.router->stop();
+  for (auto& shard : fed.shards) shard->stop();
+  quorum.router->stop();
+  for (auto& shard : quorum.shards) shard->stop();
+  return identical &&
+                 checked.status == dls::serve::ScheduleStatus::kOk
+             ? 0
+             : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string listen;
+  std::size_t shard_count = 3;
+  std::size_t replication = 1;
+  std::size_t cache_capacity = 256;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--listen") {
+      listen = next();
+    } else if (arg == "--shards") {
+      shard_count = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--replication") {
+      replication = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--cache") {
+      cache_capacity = static_cast<std::size_t>(std::atoi(next()));
+    } else {
+      std::fprintf(stderr,
+                   "usage: shard_daemon [--listen tcp|unix:PATH] "
+                   "[--shards N] [--replication R] [--cache N]\n");
+      return 2;
+    }
+  }
+  if (shard_count == 0 || replication == 0) {
+    std::fprintf(stderr, "--shards and --replication must be >= 1\n");
+    return 2;
+  }
+  if (!listen.empty()) {
+    return run_daemon(listen, shard_count, replication, cache_capacity);
+  }
+  return run_demo();
+}

@@ -194,7 +194,33 @@ void ChaosTransport::apply_read_faults(std::span<std::uint8_t> got) {
   if (corrupt) got[byte] ^= mask;
 }
 
+void ChaosTransport::maybe_first_read_delay() {
+  // apply_read_faults only fires once bytes arrived, so a freshly
+  // (re)constructed wrapper — the shape of every breaker half-open
+  // probe, which reconnects and then waits for its probe response —
+  // used to see zero injected latency until mid-stream. Sample the
+  // delay once up front so the first read pays connection-establishment
+  // latency like the rest of the stream does.
+  bool delay = false;
+  double delay_us = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_read_pending_) return;
+    first_read_pending_ = false;
+    if (rng_.bernoulli(config_.read_delay)) {
+      delay = true;
+      delay_us = rng_.uniform01() * config_.max_delay_us;
+      note(FaultKind::kDelay);
+    }
+  }
+  if (delay) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::micro>(delay_us));
+  }
+}
+
 bool ChaosTransport::read_exact(std::span<std::uint8_t> out) {
+  maybe_first_read_delay();
   if (!inner_->read_exact(out)) return false;
   apply_read_faults(out);
   return true;
@@ -202,6 +228,7 @@ bool ChaosTransport::read_exact(std::span<std::uint8_t> out) {
 
 ReadOutcome ChaosTransport::read_partial(std::span<std::uint8_t> out,
                                          double timeout_s) {
+  maybe_first_read_delay();
   const ReadOutcome got = inner_->read_partial(out, timeout_s);
   if (got.received > 0) apply_read_faults(out.first(got.received));
   return got;

@@ -130,6 +130,10 @@ class ChaosTransport final : public Transport {
 
   WritePlan plan_write(std::size_t size);
   void apply_read_faults(std::span<std::uint8_t> got);
+  /// Samples read_delay once before the very first read delegates, so
+  /// a freshly (re)connected wrapper — e.g. a breaker half-open probe —
+  /// sees realistic latency instead of a fault-free first read.
+  void maybe_first_read_delay();
   void note(FaultKind kind);
 
   std::unique_ptr<Transport> inner_;
@@ -137,6 +141,7 @@ class ChaosTransport final : public Transport {
   mutable std::mutex mutex_;
   common::Rng rng_;
   FaultStats stats_;
+  bool first_read_pending_ = true;
 };
 
 }  // namespace dls::serve

@@ -98,12 +98,27 @@ std::string to_string(FrameType type) {
 }
 
 std::uint32_t frame_checksum(std::span<const std::uint8_t> payload) noexcept {
-  std::uint32_t hash = 2166136261u;  // FNV-1a offset basis
-  for (const std::uint8_t byte : payload) {
-    hash ^= byte;
-    hash *= 16777619u;  // FNV prime
+  // v3: FNV-1a-64 over 8-byte words, bytewise tail, folded to 32 bits.
+  // The v2 byte loop was a serial multiply chain (~3 cycles/byte) that
+  // dominated frame handling on kilobyte payloads; hashing a word per
+  // step keeps the same stability story at an eighth of the depth. The
+  // explicit little-endian word assembly compiles to a plain load on
+  // little-endian targets and keeps the value identical elsewhere.
+  std::uint64_t hash = 14695981039346656037ull;  // FNV-1a-64 offset basis
+  constexpr std::uint64_t kPrime = 1099511628211ull;  // FNV-1a-64 prime
+  const std::uint8_t* cursor = payload.data();
+  const std::size_t words = payload.size() / 8;
+  for (std::size_t i = 0; i < words; ++i, cursor += 8) {
+    std::uint64_t chunk = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      chunk |= static_cast<std::uint64_t>(cursor[b]) << (8 * b);
+    }
+    hash = (hash ^ chunk) * kPrime;
   }
-  return hash;
+  for (std::size_t b = words * 8; b < payload.size(); ++b) {
+    hash = (hash ^ payload[b]) * kPrime;
+  }
+  return static_cast<std::uint32_t>(hash ^ (hash >> 32));
 }
 
 codec::Bytes encode_frame(const Frame& frame) {

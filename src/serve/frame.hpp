@@ -7,7 +7,7 @@
 //   4       1     version  (kFrameVersion)
 //   5       1     type     (FrameType, 1..6)
 //   6       4     payload length N (little-endian; N <= kMaxFramePayload)
-//   10      4     checksum (FNV-1a-32 of the payload, little-endian)
+//   10      4     checksum (frame_checksum of the payload, little-endian)
 //   14      N     payload  (a protocol/serve wire encoding, magic included)
 //
 // Decoding follows the codec/wire discipline: unknown magic, unsupported
@@ -15,17 +15,18 @@
 // are all rejected with codec::DecodeError before any payload decode
 // runs. The payload itself carries its own wire magic, so a frame whose
 // type tag disagrees with its payload is caught by the payload decoder.
-// Version 2 added the checksum: a frame whose payload does not hash to
-// the announced value is rejected with the typed FrameChecksumError, so
-// in-flight corruption surfaces as a typed refusal instead of a
-// plausibly-decodable payload with silently wrong numbers.
+// Version 2 added the checksum: a payload that does not hash to the
+// announced value is rejected with the typed FrameChecksumError, so
+// in-flight corruption surfaces as a typed refusal, not silently wrong
+// numbers. Version 3 swapped the byte-serial FNV-1a-32 for word-wise
+// FNV-1a-64 folded to 32 bits — the byte loop's multiply chain capped
+// framing at ~1 ns/byte, dominating the serve path on kB payloads.
 //
 // Truncation is reported with the typed FrameTruncationError so callers
-// can tell a peer that hung up mid-frame (connection over; nothing to
-// salvage) from a header announcing more bytes than a captured buffer
-// holds (corrupted length field). read_frame_resync adds poison-frame
-// recovery: on a malformed header it scans forward byte by byte until
-// the next plausible frame boundary instead of abandoning the stream.
+// can tell a peer that hung up mid-frame from a header announcing more
+// bytes than a captured buffer holds. read_frame_resync adds
+// poison-frame recovery: on a malformed header it scans forward byte by
+// byte to the next plausible boundary instead of abandoning the stream.
 #pragma once
 
 #include <cstdint>
@@ -52,7 +53,7 @@ enum class FrameType : std::uint8_t {
 std::string to_string(FrameType type);
 
 inline constexpr std::uint32_t kFrameMagic = 0x46534C44;  // "DLSF"
-inline constexpr std::uint8_t kFrameVersion = 2;  // v2: payload checksum
+inline constexpr std::uint8_t kFrameVersion = 3;  // v3: word-wise checksum
 /// Header bytes preceding the payload
 /// (magic + version + type + length + checksum).
 inline constexpr std::size_t kFrameHeaderSize = 14;
@@ -107,8 +108,11 @@ class FrameChecksumError : public codec::DecodeError {
   std::uint32_t computed_;
 };
 
-/// FNV-1a-32 over the payload bytes — the hash the header's checksum
-/// field carries. Exposed so tests can craft well-formed frames by hand.
+/// The hash the header's checksum field carries: FNV-1a-64 over
+/// little-endian 64-bit words of the payload (bytewise FNV-1a-64 tail),
+/// xor-folded to 32 bits. Platform-stable — words are assembled
+/// little-endian explicitly. Exposed so tests can craft well-formed
+/// frames by hand.
 std::uint32_t frame_checksum(std::span<const std::uint8_t> payload) noexcept;
 
 /// Frame <-> bytes. decode_frame is strict: the buffer must hold exactly

@@ -34,8 +34,15 @@ SchedulerService::SchedulerService(ServiceConfig config,
 SchedulerService::~SchedulerService() { stop(); }
 
 PipeEnd SchedulerService::connect() {
+  Pipe pipe = make_pipe();
+  adopt(std::make_unique<PipeEnd>(std::move(pipe.a)));
+  return std::move(pipe.b);
+}
+
+void SchedulerService::adopt(std::unique_ptr<Transport> transport) {
+  DLS_REQUIRE(transport != nullptr, "adopt() needs a transport");
   std::lock_guard<std::mutex> lock(sessions_mutex_);
-  DLS_REQUIRE(accepting_, "connect() on a stopped service");
+  DLS_REQUIRE(accepting_, "adopt()/connect() on a stopped service");
   // Reap sessions whose reader has already returned (peer hung up or
   // was quarantined) so reconnect storms don't accumulate dead threads
   // for the lifetime of the service.
@@ -48,9 +55,8 @@ PipeEnd SchedulerService::connect() {
       ++it;
     }
   }
-  Pipe pipe = make_pipe();
   auto session = std::make_unique<Session>();
-  session->end = std::move(pipe.a);
+  session->end = std::move(transport);
   Session* raw = session.get();
   session->reader = std::thread([this, raw] {
     session_loop(raw);
@@ -58,7 +64,37 @@ PipeEnd SchedulerService::connect() {
   });
   sessions_.push_back(std::move(session));
   DLS_COUNT("serve.sessions");
-  return std::move(pipe.b);
+}
+
+bool SchedulerService::try_serve_inline(const ScheduleRequest& request,
+                                        ScheduleResponse& response) {
+  if (request.options.want_payments) return false;
+  // Deadline accounting is admission-relative and owned by the framed
+  // path; serving such a request inline could answer where handle()
+  // would expire it, so any effective deadline declines the fast path.
+  double deadline_us = request.options.deadline_us;
+  if (deadline_us <= 0.0) deadline_us = config_.default_deadline_us;
+  if (deadline_us > 0.0) return false;
+  codec::Bytes key;
+  try {
+    key = canonical_topology_key(request.w, request.z);
+  } catch (const dls::Error&) {
+    return false;  // malformed instance: the framed path owns kError
+  }
+  const SolveCache::Value solution = cache_.lookup(key);
+  if (!solution) return false;
+  response = ScheduleResponse{};
+  response.request_id = request.request_id;
+  response.status = ScheduleStatus::kOk;
+  response.cache_hit = true;
+  response.alpha = solution->alpha;
+  response.makespan = solution->makespan;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.inline_hits;
+  }
+  DLS_COUNT("serve.inline_hits");
+  return true;
 }
 
 void SchedulerService::pause() {
@@ -93,7 +129,7 @@ void SchedulerService::stop() {
     std::lock_guard<std::mutex> lock(sessions_mutex_);
     sessions.swap(sessions_);
   }
-  for (auto& session : sessions) session->end.close();
+  for (auto& session : sessions) session->end->close();
   for (auto& session : sessions) {
     if (session->reader.joinable()) session->reader.join();
   }
@@ -111,7 +147,7 @@ void SchedulerService::session_loop(Session* session) {
       std::size_t skipped = 0;
       std::optional<Frame> frame;
       try {
-        frame = read_frame_resync(session->end, config_.resync_scan_bytes,
+        frame = read_frame_resync(*session->end, config_.resync_scan_bytes,
                                   &skipped);
       } catch (const FrameTruncationError&) {
         // Peer vanished mid-frame (torn write / silent disconnect):
@@ -195,7 +231,7 @@ void SchedulerService::quarantine(Session* session) {
   // Closing only this connection tears down the poisoned peer without
   // touching the dispatcher or any other session; the client observes
   // EOF for anything it still believes is in flight.
-  session->end.close();
+  session->end->close();
 }
 
 bool SchedulerService::try_brownout(const ScheduleRequest& request,
@@ -596,7 +632,7 @@ ScheduleResponse SchedulerService::handle(const Pending& pending,
 void SchedulerService::send_response(Session* session,
                                      const ScheduleResponse& response) {
   try {
-    write_frame(session->end,
+    write_frame(*session->end,
                 Frame{FrameType::kScheduleResponse,
                       encode_schedule_response(response)});
   } catch (const TransportError&) {

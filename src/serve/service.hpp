@@ -10,23 +10,23 @@
 //                       ▼                 ▼ deadline      ▼ via cache
 //                    responses written back on the request's connection
 //
-//  * connect() hands out one end of a fresh Pipe; a per-connection
-//    reader thread decodes ScheduleRequest frames and performs
-//    admission *synchronously*: when the shared bounded queue is full
-//    the request is answered kShed immediately — backpressure is an
-//    explicit response, never a silent stall.
+//  * connect() hands out one end of a fresh Pipe; adopt() runs the same
+//    session machinery over any Transport (an accepted SocketTransport,
+//    a ChaosTransport, ...). Either way a per-connection reader thread
+//    decodes ScheduleRequest frames and performs admission
+//    *synchronously*: when the shared bounded queue is full the request
+//    is answered kShed immediately — backpressure is an explicit
+//    response, never a silent stall.
 //  * A dispatcher thread drains the queue in batches of at most
-//    `max_batch` and solves them concurrently on the exec::ThreadPool
-//    (the same work-stealing pool the sweep engine uses).
+//    `max_batch` and solves them concurrently on the exec::ThreadPool.
 //  * Before solving, each request's deadline (admission-relative, µs)
 //    is checked; an expired request is answered kExpired without
-//    touching the solver (clients pair deadlines with client.hpp's
-//    retry policy).
+//    touching the solver.
 //  * Same-length cache misses of one dispatch window coalesce into one
 //    SoA batch solve (dlt::BatchLinearSolver); responses stay
 //    bit-identical to per-request solves.
-//  * Solutions are memoised in a SolveCache keyed by the canonical
-//    (w, z) bytes. Metrics (serve.*): see docs/OBSERVABILITY.md.
+//  * Solutions are memoised in a SolveCache keyed by canonical (w, z)
+//    bytes. Metrics (serve.*): see docs/OBSERVABILITY.md.
 #pragma once
 
 #include <atomic>
@@ -100,6 +100,7 @@ struct ServiceStats {
   std::uint64_t batch_groups = 0;   ///< batched solver runs dispatched
   std::uint64_t batch_deduped = 0;  ///< duplicate topologies answered
                                     ///< from a batchmate's lane
+  std::uint64_t inline_hits = 0;    ///< try_serve_inline cache answers
 };
 
 class SchedulerService {
@@ -112,10 +113,25 @@ class SchedulerService {
   SchedulerService(const SchedulerService&) = delete;
   SchedulerService& operator=(const SchedulerService&) = delete;
 
-  /// Opens a connection and returns the client end. Each connection is
-  /// served by its own reader thread until the client closes or the
-  /// service stops.
+  /// Opens an in-memory connection and returns the client end. Each
+  /// connection is served by its own reader thread until the client
+  /// closes or the service stops.
   PipeEnd connect();
+
+  /// Serves an established transport (an accepted socket, a chaos
+  /// wrapper, ...) with the same per-connection reader machinery that
+  /// backs connect(). The service owns the transport from here on.
+  void adopt(std::unique_ptr<Transport> transport);
+
+  /// Colocated fast path for a router sharing this process: answers
+  /// `request` from the solve cache without touching the wire, the
+  /// admission queue or the dispatcher. Returns true (and fills
+  /// `response`, bit-identical to a queued cache hit) only for
+  /// payment-free cache hits on a valid instance; everything else —
+  /// misses, payments, malformed requests — returns false so the caller
+  /// falls back to the framed path and its full admission semantics.
+  bool try_serve_inline(const ScheduleRequest& request,
+                        ScheduleResponse& response);
 
   /// Holds / releases the dispatcher. Admission keeps running while
   /// paused, so the queue fills and sheds deterministically.
@@ -132,7 +148,7 @@ class SchedulerService {
 
  private:
   struct Session {
-    PipeEnd end;  ///< server side of the connection
+    std::unique_ptr<Transport> end;  ///< server side of the connection
     std::thread reader;
     std::atomic<bool> done{false};  ///< reader loop has returned
     /// Queued requests still holding a pointer to this session; the

@@ -146,4 +146,47 @@ codec::Bytes canonical_topology_key(std::span<const double> w,
   return writer.take();
 }
 
+namespace {
+
+/// Size of a magic string's encoding — the request_id field starts
+/// right after it in both payload layouts.
+std::size_t encoded_magic_size(std::string_view magic) {
+  codec::Writer writer;
+  writer.string(magic);
+  return writer.take().size();
+}
+
+}  // namespace
+
+std::span<const std::uint8_t> schedule_request_replay_key(
+    std::span<const std::uint8_t> payload) {
+  static const std::size_t offset =
+      encoded_magic_size(kRequestMagic) + sizeof(std::uint64_t);
+  if (payload.size() < offset) return {};
+  return payload.subspan(offset);
+}
+
+std::uint64_t schedule_request_id(std::span<const std::uint8_t> payload) {
+  static const std::size_t offset = encoded_magic_size(kRequestMagic);
+  if (payload.size() < offset + sizeof(std::uint64_t)) return 0;
+  std::uint64_t id = 0;
+  for (std::size_t i = 0; i < sizeof(std::uint64_t); ++i) {
+    id |= static_cast<std::uint64_t>(payload[offset + i]) << (8 * i);
+  }
+  return id;
+}
+
+void patch_schedule_response_id(codec::Bytes& payload,
+                                std::uint64_t request_id) {
+  static const std::size_t offset = encoded_magic_size(kResponseMagic);
+  if (payload.size() < offset + sizeof(std::uint64_t)) {
+    throw codec::DecodeError(
+        "response payload too short to patch a request id");
+  }
+  for (std::size_t i = 0; i < sizeof(std::uint64_t); ++i) {
+    payload[offset + i] =
+        static_cast<std::uint8_t>((request_id >> (8 * i)) & 0xffu);
+  }
+}
+
 }  // namespace dls::serve

@@ -80,4 +80,24 @@ ScheduleResponse decode_schedule_response(std::span<const std::uint8_t> data);
 codec::Bytes canonical_topology_key(std::span<const double> w,
                                     std::span<const double> z);
 
+/// Replay key for the ShardRouter's verbatim response cache: the bytes
+/// of an encoded request AFTER the request_id field. They cover the
+/// round tag, deadline, payments flag and the full (w, z) topology, so
+/// two requests with equal suffixes must receive byte-identical
+/// responses up to the echoed id. Returns an empty span when `payload`
+/// is too short to carry a request_id at all.
+std::span<const std::uint8_t> schedule_request_replay_key(
+    std::span<const std::uint8_t> payload);
+
+/// Reads the request_id of an encoded request without decoding the
+/// rest; 0 when the payload is too short.
+std::uint64_t schedule_request_id(std::span<const std::uint8_t> payload);
+
+/// Overwrites the request_id field of an encoded response in place —
+/// the id is a fixed-width u64 at a fixed offset, so a cached response
+/// encoding can be replayed for a new request. Throws
+/// codec::DecodeError when the payload is too short to patch.
+void patch_schedule_response_id(codec::Bytes& payload,
+                                std::uint64_t request_id);
+
 }  // namespace dls::serve

@@ -1,0 +1,233 @@
+// Multi-process conformance: fork/exec a real shard_daemon over TCP
+// and over a Unix-domain socket, replay the same seeded request
+// stream against the daemon and against an in-memory Pipe-backed
+// SchedulerService, and assert every response is byte-identical —
+// cold pass and cache-warm pass, including payments, an expired
+// deadline, and a malformed instance.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "codec/bytes.hpp"
+#include "common/rng.hpp"
+#include "serve/client.hpp"
+#include "serve/service.hpp"
+#include "serve/service_wire.hpp"
+#include "serve/socket.hpp"
+
+#ifndef DLS_SHARD_DAEMON_BIN
+#error "DLS_SHARD_DAEMON_BIN must point at the shard_daemon binary"
+#endif
+
+namespace {
+
+using dls::codec::Bytes;
+using dls::serve::ScheduleOptions;
+using dls::serve::ScheduleResponse;
+using dls::serve::SchedulerClient;
+using dls::serve::SchedulerService;
+using dls::serve::ServiceConfig;
+
+/// A fork/exec'd shard_daemon. Closing our write end of its stdin is
+/// the shutdown signal; the destructor escalates to SIGKILL if the
+/// daemon does not exit promptly.
+class DaemonProcess {
+ public:
+  explicit DaemonProcess(const std::vector<std::string>& args) {
+    int to_child[2];
+    int from_child[2];
+    if (::pipe(to_child) != 0 || ::pipe(from_child) != 0) {
+      error_ = "pipe() failed";
+      return;
+    }
+    pid_ = ::fork();
+    if (pid_ < 0) {
+      error_ = "fork() failed";
+      return;
+    }
+    if (pid_ == 0) {
+      ::dup2(to_child[0], STDIN_FILENO);
+      ::dup2(from_child[1], STDOUT_FILENO);
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      ::close(from_child[0]);
+      ::close(from_child[1]);
+      std::vector<char*> argv;
+      argv.push_back(const_cast<char*>(DLS_SHARD_DAEMON_BIN));
+      for (const std::string& arg : args) {
+        argv.push_back(const_cast<char*>(arg.c_str()));
+      }
+      argv.push_back(nullptr);
+      ::execv(DLS_SHARD_DAEMON_BIN, argv.data());
+      ::_exit(127);  // exec failed
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    stdin_fd_ = to_child[1];
+    stdout_fd_ = from_child[0];
+    // The daemon announces readiness with one "LISTENING <endpoint>"
+    // line before accepting.
+    std::string line;
+    char ch = 0;
+    while (::read(stdout_fd_, &ch, 1) == 1 && ch != '\n') {
+      line.push_back(ch);
+    }
+    if (line.rfind("LISTENING ", 0) != 0) {
+      error_ = "daemon said: " + line;
+      return;
+    }
+    endpoint_ = line.substr(10);
+  }
+
+  ~DaemonProcess() {
+    if (stdin_fd_ >= 0) ::close(stdin_fd_);  // EOF = please exit
+    if (pid_ > 0) {
+      int status = 0;
+      for (int i = 0; i < 200; ++i) {  // up to ~2 s of graceful exit
+        if (::waitpid(pid_, &status, WNOHANG) == pid_) {
+          pid_ = -1;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      if (pid_ > 0) {
+        ::kill(pid_, SIGKILL);
+        ::waitpid(pid_, &status, 0);
+      }
+    }
+    if (stdout_fd_ >= 0) ::close(stdout_fd_);
+  }
+
+  bool ready() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  const std::string& endpoint() const { return endpoint_; }
+
+ private:
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  std::string endpoint_;
+  std::string error_;
+};
+
+struct Call {
+  std::vector<double> w;
+  std::vector<double> z;
+  ScheduleOptions options;
+};
+
+/// The seeded conformance stream: varied topologies, one payments
+/// request, one pre-expired deadline, one infeasible instance.
+std::vector<Call> seeded_stream(std::uint64_t seed) {
+  dls::common::Rng rng(seed);
+  std::vector<Call> calls;
+  for (int i = 0; i < 12; ++i) {
+    Call call;
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 7));
+    call.w.resize(n);
+    call.z.resize(n - 1);
+    for (double& x : call.w) x = rng.uniform(0.2, 3.0);
+    for (double& x : call.z) x = rng.uniform(0.01, 0.5);
+    calls.push_back(std::move(call));
+  }
+  calls[3].options.want_payments = true;
+  calls[5].options.deadline_us = 1e-3;  // expired on arrival
+  calls[7].w.assign(3, -1.0);           // infeasible: kError both sides
+  return calls;
+}
+
+/// Replays the stream twice (cold, then cache-warm) and returns every
+/// response's exact wire encoding, in order.
+std::vector<Bytes> replay(SchedulerClient& client,
+                          const std::vector<Call>& calls) {
+  std::vector<Bytes> out;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Call& call : calls) {
+      const ScheduleResponse response =
+          client.schedule(call.w, call.z, call.options);
+      out.push_back(dls::serve::encode_schedule_response(response));
+    }
+  }
+  return out;
+}
+
+std::string unix_path() {
+  return "/tmp/dls_federation_" + std::to_string(::getpid()) + ".sock";
+}
+
+TEST(ServeFederationTest, DaemonResponsesAreByteIdenticalToPipePath) {
+  const std::vector<Call> calls = seeded_stream(20260809);
+
+  // Ground truth: the in-memory Pipe path against one local service
+  // configured like a daemon shard.
+  ServiceConfig config;
+  config.cache_capacity = 256;
+  SchedulerService service(config);
+  SchedulerClient pipe_client(service.connect());
+  const std::vector<Bytes> expected = replay(pipe_client, calls);
+  pipe_client.close();
+  service.stop();
+
+  ASSERT_EQ(expected.size(), calls.size() * 2);
+
+  struct Flavor {
+    const char* name;
+    std::vector<std::string> args;
+  };
+  const std::vector<Flavor> flavors = {
+      {"tcp", {"--listen", "tcp", "--shards", "3"}},
+      {"unix", {"--listen", "unix:" + unix_path(), "--shards", "3"}},
+  };
+  for (const Flavor& flavor : flavors) {
+    DaemonProcess daemon(flavor.args);
+    ASSERT_TRUE(daemon.ready()) << flavor.name << ": " << daemon.error();
+    SchedulerClient client(dls::serve::connect_endpoint(daemon.endpoint()));
+    const std::vector<Bytes> got = replay(client, calls);
+    ASSERT_EQ(got.size(), expected.size()) << flavor.name;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(got[i], expected[i])
+          << flavor.name << ": response " << i << " ("
+          << (i < calls.size() ? "cold" : "warm") << " pass) diverged "
+          << "from the in-memory Pipe path";
+    }
+    client.close();
+  }
+}
+
+TEST(ServeFederationTest, ReplicatedDaemonStillConformsOverTcp) {
+  // Same stream through a replicated (R=2) daemon: the quorum layer
+  // must not perturb a healthy federation's bytes either.
+  const std::vector<Call> calls = seeded_stream(424242);
+
+  ServiceConfig config;
+  config.cache_capacity = 256;
+  SchedulerService service(config);
+  SchedulerClient pipe_client(service.connect());
+  const std::vector<Bytes> expected = replay(pipe_client, calls);
+  pipe_client.close();
+  service.stop();
+
+  DaemonProcess daemon(
+      {"--listen", "tcp", "--shards", "3", "--replication", "2"});
+  ASSERT_TRUE(daemon.ready()) << daemon.error();
+  SchedulerClient client(dls::serve::connect_endpoint(daemon.endpoint()));
+  const std::vector<Bytes> got = replay(client, calls);
+  ASSERT_EQ(got.size(), expected.size());
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (got[i] != expected[i]) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0u);
+  client.close();
+}
+
+}  // namespace

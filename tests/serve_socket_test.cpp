@@ -1,0 +1,357 @@
+// SocketTransport conformance + adversarial coverage: the Transport
+// seam contract on real TCP and Unix-domain sockets, the
+// FrameTruncationError taxonomy for peer-close vs. mid-frame death,
+// slow-loris partial writes, checksum-poisoned frames with
+// read_frame_resync re-alignment, and the full chaos fuzz
+// (ChaosTransport) running over a real socket with the robustness
+// contract intact: no untyped error ever escapes.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "codec/bytes.hpp"
+#include "common/rng.hpp"
+#include "dlt/linear.hpp"
+#include "net/networks.hpp"
+#include "serve/chaos.hpp"
+#include "serve/client.hpp"
+#include "serve/frame.hpp"
+#include "serve/service.hpp"
+#include "serve/socket.hpp"
+
+namespace {
+
+using dls::codec::Bytes;
+using dls::serve::ChaosConfig;
+using dls::serve::ChaosTransport;
+using dls::serve::Frame;
+using dls::serve::FrameChecksumError;
+using dls::serve::FrameTruncationError;
+using dls::serve::FrameType;
+using dls::serve::ReadOutcome;
+using dls::serve::ScheduleOptions;
+using dls::serve::ScheduleStatus;
+using dls::serve::SchedulerClient;
+using dls::serve::SchedulerService;
+using dls::serve::ServiceConfig;
+using dls::serve::SocketListener;
+using dls::serve::SocketTransport;
+using dls::serve::Transport;
+using dls::serve::TransportError;
+using dls::serve::TransportTimeout;
+
+std::string unix_path(const char* tag) {
+  return "/tmp/dls_socket_test_" + std::to_string(::getpid()) + "_" + tag +
+         ".sock";
+}
+
+/// A connected (client, server) SocketTransport pair over `kind`.
+struct SocketPair {
+  SocketListener listener;
+  std::unique_ptr<SocketTransport> client;
+  std::unique_ptr<SocketTransport> server;
+};
+
+SocketPair make_pair_over(const std::string& kind) {
+  SocketPair pair;
+  if (kind == "unix") {
+    pair.listener = SocketListener::listen_unix(unix_path(kind.c_str()));
+  } else {
+    pair.listener = SocketListener::listen_tcp(0);
+  }
+  pair.client = dls::serve::connect_endpoint(pair.listener.endpoint());
+  pair.server = pair.listener.accept(/*timeout_s=*/5.0);
+  EXPECT_NE(pair.server, nullptr);
+  return pair;
+}
+
+Frame test_frame(std::size_t payload_size = 32) {
+  Frame frame;
+  frame.type = FrameType::kScheduleRequest;
+  frame.payload.resize(payload_size);
+  for (std::size_t i = 0; i < payload_size; ++i) {
+    frame.payload[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
+  return frame;
+}
+
+TEST(SocketTransportTest, FramesRoundTripBothDirectionsBothFamilies) {
+  for (const std::string kind : {"tcp", "unix"}) {
+    SocketPair pair = make_pair_over(kind);
+    dls::serve::write_frame(*pair.client, test_frame(100));
+    const auto at_server = dls::serve::read_frame(*pair.server);
+    ASSERT_TRUE(at_server.has_value()) << kind;
+    EXPECT_EQ(at_server->payload, test_frame(100).payload) << kind;
+
+    Frame reply = test_frame(7);
+    reply.type = FrameType::kScheduleResponse;
+    dls::serve::write_frame(*pair.server, reply);
+    const auto at_client = dls::serve::read_frame(*pair.client);
+    ASSERT_TRUE(at_client.has_value()) << kind;
+    EXPECT_EQ(at_client->type, FrameType::kScheduleResponse) << kind;
+  }
+}
+
+TEST(SocketTransportTest, TimeoutConsumesNothingAndBytesStayStaged) {
+  SocketPair pair = make_pair_over("tcp");
+  const Bytes first = {1, 2, 3, 4, 5};
+  pair.client->write(first);
+
+  // Ask for 10 with only 5 en route: the deadline lapses, and the seam
+  // contract says nothing is consumed.
+  Bytes out(10, 0xEE);
+  ReadOutcome got = pair.server->read_partial(out, 0.05);
+  EXPECT_FALSE(got.complete);
+  EXPECT_FALSE(got.closed);
+  EXPECT_EQ(got.received, 0u);
+
+  // The second half arrives: the staged 5 bytes lead the stream.
+  const Bytes second = {6, 7, 8, 9, 10};
+  pair.client->write(second);
+  got = pair.server->read_partial(out, 5.0);
+  ASSERT_TRUE(got.complete);
+  EXPECT_EQ(out, Bytes({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+}
+
+TEST(SocketTransportTest, CleanEofAtUnitBoundaryReportsFalse) {
+  SocketPair pair = make_pair_over("unix");
+  const Bytes unit = {9, 9, 9, 9};
+  pair.client->write(unit);
+  pair.client->close();
+  Bytes out(4);
+  EXPECT_TRUE(pair.server->read_exact(out));
+  EXPECT_EQ(out, unit);
+  EXPECT_FALSE(pair.server->read_exact(out));  // clean EOF
+}
+
+TEST(SocketTransportTest, PeerCloseMidUnitThrowsTransportError) {
+  SocketPair pair = make_pair_over("tcp");
+  const Bytes partial = {1, 2, 3};
+  pair.client->write(partial);
+  pair.client->close();
+  Bytes out(8);
+  EXPECT_THROW(pair.server->read_exact(out), TransportError);
+}
+
+TEST(SocketTransportTest, WriteAfterCloseThrowsAndValidFlips) {
+  SocketPair pair = make_pair_over("tcp");
+  EXPECT_TRUE(pair.client->valid());
+  pair.client->close();
+  pair.client->close();  // idempotent
+  EXPECT_FALSE(pair.client->valid());
+  const Bytes unit = {1};
+  EXPECT_THROW(pair.client->write(unit), TransportError);
+}
+
+TEST(SocketTransportTest, MidFramePeerCloseIsTypedTruncation) {
+  for (const std::string kind : {"tcp", "unix"}) {
+    SocketPair pair = make_pair_over(kind);
+    const Bytes encoded = dls::serve::encode_frame(test_frame(64));
+    // Header plus a strict prefix of the payload, then the peer dies.
+    pair.client->write(
+        std::span(encoded).first(dls::serve::kFrameHeaderSize + 20));
+    pair.client->close();
+    try {
+      dls::serve::read_frame(*pair.server);
+      FAIL() << kind << ": torn frame decoded";
+    } catch (const FrameTruncationError& e) {
+      EXPECT_TRUE(e.peer_closed()) << kind;
+      EXPECT_EQ(e.received(), 20u) << kind;
+    }
+  }
+}
+
+TEST(SocketTransportTest, SlowLorisDeliversIntactAndTimesOutTyped) {
+  SocketPair pair = make_pair_over("tcp");
+  const Bytes encoded = dls::serve::encode_frame(test_frame(48));
+
+  // A reader with a tight deadline sees a typed timeout, not a hang or
+  // an untyped error, while the loris dribbles.
+  pair.client->write(std::span(encoded).first(3));
+  EXPECT_THROW(dls::serve::read_frame(*pair.server, 0.05),
+               TransportTimeout);
+
+  // Drip the rest one byte at a time; the frame must assemble intact.
+  std::thread loris([&] {
+    for (std::size_t i = 3; i < encoded.size(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      pair.client->write(std::span(encoded).subspan(i, 1));
+    }
+  });
+  const auto got = dls::serve::read_frame(*pair.server, 30.0);
+  loris.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, test_frame(48).payload);
+}
+
+TEST(SocketTransportTest, ChecksumPoisonOverSocketKeepsStreamAligned) {
+  SocketPair pair = make_pair_over("tcp");
+  Bytes poisoned = dls::serve::encode_frame(test_frame(40));
+  poisoned[dls::serve::kFrameHeaderSize + 11] ^= 0x20;  // payload bit flip
+  pair.client->write(poisoned);
+  dls::serve::write_frame(*pair.client, test_frame(16));
+
+  EXPECT_THROW(dls::serve::read_frame(*pair.server), FrameChecksumError);
+  // The poisoned payload was fully consumed, so the next frame decodes.
+  const auto next = dls::serve::read_frame(*pair.server);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->payload, test_frame(16).payload);
+}
+
+TEST(SocketTransportTest, ResyncRealignsPastGarbageOverSocket) {
+  SocketPair pair = make_pair_over("unix");
+  const Bytes garbage = {0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01, 0x02};
+  pair.client->write(garbage);
+  dls::serve::write_frame(*pair.client, test_frame(24));
+
+  std::size_t skipped = 0;
+  const auto got =
+      dls::serve::read_frame_resync(*pair.server, /*max_scan_bytes=*/4096,
+                                    &skipped, /*timeout_s=*/10.0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(skipped, garbage.size());
+  EXPECT_EQ(got->payload, test_frame(24).payload);
+}
+
+/// A SchedulerService accepting real socket connections in a
+/// background thread, for the end-to-end and chaos-over-socket tests.
+struct SocketService {
+  explicit SocketService(const ServiceConfig& config, bool unix_domain)
+      : service(config) {
+    listener = unix_domain
+                   ? SocketListener::listen_unix(unix_path("svc"))
+                   : SocketListener::listen_tcp(0);
+    acceptor = std::thread([this] {
+      while (listener.valid()) {
+        auto accepted = listener.accept(/*timeout_s=*/0.2);
+        if (accepted) service.adopt(std::move(accepted));
+      }
+    });
+  }
+  ~SocketService() {
+    listener.close();
+    acceptor.join();
+    service.stop();
+  }
+  SchedulerService service;
+  SocketListener listener;
+  std::thread acceptor;
+};
+
+TEST(SocketServiceTest, ServiceWorksUnchangedOverRealSockets) {
+  for (const bool unix_domain : {false, true}) {
+    ServiceConfig config;
+    config.cache_capacity = 32;
+    SocketService harness(config, unix_domain);
+
+    SchedulerClient client(
+        dls::serve::connect_endpoint(harness.listener.endpoint()));
+    const std::vector<double> w = {1.0, 1.2, 0.9};
+    const std::vector<double> z = {0.15, 0.1};
+    const auto cold = client.schedule(w, z);
+    ASSERT_EQ(cold.status, ScheduleStatus::kOk);
+    const auto warm = client.schedule(w, z);
+    ASSERT_EQ(warm.status, ScheduleStatus::kOk);
+    EXPECT_TRUE(warm.cache_hit);
+    EXPECT_EQ(cold.alpha, warm.alpha);
+    EXPECT_EQ(cold.makespan, warm.makespan);
+
+    ScheduleOptions pay;
+    pay.want_payments = true;
+    const auto paid = client.schedule(w, z, pay);
+    ASSERT_EQ(paid.status, ScheduleStatus::kOk);
+    EXPECT_FALSE(paid.payments.empty());
+    client.close();
+  }
+}
+
+TEST(SocketServiceTest, ChaosFuzzOverRealSocketNeverEscapesUntyped) {
+  ServiceConfig config;
+  config.cache_capacity = 16;
+  config.poison_budget = 6;
+  SocketService harness(config, /*unix_domain=*/false);
+
+  const std::vector<double> w = {1.0, 1.4, 0.8, 1.1};
+  const std::vector<double> z = {0.12, 0.2, 0.08};
+  const dls::net::LinearNetwork network(w, z);
+  dls::dlt::LinearSolution truth;
+  dls::dlt::solve_linear_boundary_into(network, truth,
+                                       /*want_steps=*/false);
+
+  ChaosConfig chaos;
+  chaos.partial_write = 0.15;
+  chaos.truncate = 0.08;
+  chaos.corrupt = 0.1;
+  chaos.delay = 0.1;
+  chaos.disconnect = 0.1;
+  chaos.duplicate = 0.15;
+  chaos.read_corrupt = 0.05;
+  chaos.read_delay = 0.05;
+  chaos.max_delay_us = 100.0;
+
+  std::uint64_t connection = 0;
+  const auto chaotic_connect = [&]() -> std::unique_ptr<Transport> {
+    ++connection;
+    return std::make_unique<ChaosTransport>(
+        dls::serve::connect_endpoint(harness.listener.endpoint()), chaos,
+        0xFEED5EED ^ (connection * 0x9e3779b97f4a7c15ull));
+  };
+
+  SchedulerClient client(chaotic_connect());
+  dls::serve::RobustOptions robust;
+  robust.policy.base_delay_s = 0.0002;
+  robust.policy.max_delay_s = 0.005;
+  robust.policy.max_attempts = 12;
+  robust.policy.attempt_deadline_s = 0.25;
+  robust.policy.total_deadline_s = 20.0;
+  robust.reconnect = chaotic_connect;
+  robust.seed = 4242;
+
+  int landed = 0;
+  for (int i = 0; i < 40; ++i) {
+    // Every call must end typed: an answer, a refusal, or an exhausted
+    // budget. Any other exception escaping IS the test failure.
+    const auto result =
+        client.schedule_robust(w, z, ScheduleOptions{}, robust);
+    if (result.outcome != dls::serve::RobustOutcome::kAnswered) continue;
+    if (result.response.status != ScheduleStatus::kOk) continue;
+    ++landed;
+    EXPECT_EQ(result.response.alpha, truth.alpha) << "request " << i;
+    EXPECT_EQ(result.response.makespan, truth.makespan) << "request " << i;
+  }
+  EXPECT_GT(landed, 0);  // the fuzz must not refuse everything
+  client.close();
+}
+
+TEST(SocketListenerTest, AcceptTimesOutAndCloseWakesAccept) {
+  SocketListener listener = SocketListener::listen_tcp(0);
+  EXPECT_EQ(listener.accept(/*timeout_s=*/0.05), nullptr);
+
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    listener.close();
+  });
+  // A blocked accept returns nullptr once the listener closes instead
+  // of hanging forever.
+  EXPECT_EQ(listener.accept(/*timeout_s=*/30.0), nullptr);
+  closer.join();
+}
+
+TEST(SocketTransportTest, ConnectToDeadPortIsTypedError) {
+  std::uint16_t port = 0;
+  {
+    const SocketListener listener = SocketListener::listen_tcp(0);
+    port = listener.port();
+  }  // fully released: the port now refuses connections
+  EXPECT_THROW(dls::serve::connect_tcp("127.0.0.1", port, 1.0),
+               TransportError);
+}
+
+}  // namespace
