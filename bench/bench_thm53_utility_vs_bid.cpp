@@ -11,12 +11,12 @@
 #include <iostream>
 
 #include "analysis/experiments.hpp"
-#include "analysis/parallel.hpp"
 #include "analysis/sweep.hpp"
 #include "common/ascii_plot.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "exec/thread_pool.hpp"
 #include "net/networks.hpp"
 
 int main() {
@@ -77,7 +77,7 @@ int main() {
   {
     constexpr std::size_t kInstances = 600;
     std::vector<double> gap(kInstances);
-    dls::analysis::parallel_for(kInstances, [&](std::size_t rep) {
+    dls::exec::ThreadPool::global().parallel_for(kInstances, [&](std::size_t rep) {
       dls::common::Rng rng(531 + 7919 * rep);
       const auto m = static_cast<std::size_t>(rng.uniform_int(1, 12));
       const auto net = dls::net::LinearNetwork::random(
@@ -98,7 +98,8 @@ int main() {
     }
     std::cout << "randomized certification: " << kInstances
               << " (instance, processor) pairs x 61-point bid grids ("
-              << dls::analysis::default_workers() << " threads)\n"
+              << dls::exec::ThreadPool::global().worker_count()
+              << " threads)\n"
               << "max advantage over truth: " << gaps.max()
               << "  violations: " << violations << " ("
               << (violations == 0 ? "PASS" : "FAIL") << ")\n";

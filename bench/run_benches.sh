@@ -28,6 +28,7 @@ bench_bins=(
   "$build_dir/bench/bench_perf_micro"
   "$build_dir/bench/bench_serve_throughput"
   "$build_dir/bench/bench_serve_sharded"
+  "$build_dir/bench/bench_multiload"
 )
 for bench_bin in "${bench_bins[@]}"; do
   if [[ ! -x "$bench_bin" ]]; then

@@ -1,0 +1,130 @@
+#include "analysis/multiload_grid.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+#include "analysis/experiments.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "exec/thread_pool.hpp"
+#include "multiload/solver.hpp"
+#include "net/networks.hpp"
+
+namespace dls::analysis {
+
+namespace {
+
+MultiLoadCellStats run_cell(const MultiLoadScenario& scenario,
+                            std::size_t trials, std::uint64_t cell_seed) {
+  MultiLoadCellStats stats;
+  stats.scenario = scenario;
+  stats.trials = trials;
+  stats.min_speedup = std::numeric_limits<double>::infinity();
+  stats.max_speedup = -std::numeric_limits<double>::infinity();
+
+  multiload::MultiLoadConfig config;
+  config.policy = scenario.policy;
+  config.installments_per_load = scenario.installments;
+  config.ingress_z = scenario.ingress_z;
+
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    // One independent stream per (cell, trial): identical results at
+    // any worker count.
+    std::uint64_t state = cell_seed + trial;
+    common::Rng rng(common::splitmix64_next(state));
+    const net::LinearNetwork network = net::LinearNetwork::random(
+        scenario.processors, rng, kWLo, kWHi, kZLo, kZHi);
+
+    std::vector<multiload::LoadSpec> loads(scenario.load_count);
+    double release = 0.0;
+    for (std::size_t k = 0; k < loads.size(); ++k) {
+      loads[k].id = k + 1;
+      loads[k].size = rng.log_uniform(scenario.size_lo, scenario.size_hi);
+      if (scenario.mean_interarrival > 0.0 && k > 0) {
+        release += rng.exponential(1.0 / scenario.mean_interarrival);
+      }
+      loads[k].release = release;
+    }
+
+    multiload::MultiLoadSolver solver(network);
+    const multiload::MultiLoadSchedule schedule = solver.solve(loads, config);
+    DLS_REQUIRE(schedule.makespan > 0.0, "degenerate makespan in grid cell");
+    const double speedup = schedule.serialized_makespan / schedule.makespan;
+    stats.mean_speedup += speedup;
+    stats.min_speedup = std::min(stats.min_speedup, speedup);
+    stats.max_speedup = std::max(stats.max_speedup, speedup);
+    stats.mean_makespan += schedule.makespan;
+    stats.mean_serialized += schedule.serialized_makespan;
+    stats.mean_throughput +=
+        static_cast<double>(scenario.load_count) / schedule.makespan;
+  }
+  const double inv = 1.0 / static_cast<double>(trials);
+  stats.mean_speedup *= inv;
+  stats.mean_makespan *= inv;
+  stats.mean_serialized *= inv;
+  stats.mean_throughput *= inv;
+  return stats;
+}
+
+}  // namespace
+
+std::vector<MultiLoadCellStats> run_multiload_grid(
+    const MultiLoadGridConfig& config) {
+  DLS_REQUIRE(config.trials > 0, "grid needs at least one trial per cell");
+  std::vector<MultiLoadScenario> scenarios;
+  for (const std::size_t processors : config.chain_lengths) {
+    for (const std::size_t load_count : config.load_counts) {
+      for (const double mean_interarrival : config.mean_interarrivals) {
+        for (const multiload::DispatchPolicy policy : config.policies) {
+          MultiLoadScenario scenario;
+          scenario.processors = processors;
+          scenario.load_count = load_count;
+          scenario.size_lo = config.size_lo;
+          scenario.size_hi = config.size_hi;
+          scenario.mean_interarrival = mean_interarrival;
+          scenario.policy = policy;
+          scenario.installments = config.installments;
+          scenario.ingress_z = config.ingress_z;
+          scenarios.push_back(scenario);
+        }
+      }
+    }
+  }
+
+  std::vector<MultiLoadCellStats> cells(scenarios.size());
+  exec::ThreadPool::global().parallel_for(
+      scenarios.size(), [&](std::size_t i) {
+        // Cells are seeded far apart so trial streams never collide
+        // across cells.
+        const std::uint64_t cell_seed =
+            config.seed + (i + 1) * 0x9e3779b97f4a7c15ull;
+        cells[i] = run_cell(scenarios[i], config.trials, cell_seed);
+      });
+  return cells;
+}
+
+void print_multiload_grid(std::ostream& os,
+                          const std::vector<MultiLoadCellStats>& cells) {
+  os << std::setw(6) << "m" << std::setw(7) << "loads" << std::setw(10)
+     << "arrival" << std::setw(13) << "policy" << std::setw(11) << "speedup"
+     << std::setw(9) << "min" << std::setw(9) << "max" << std::setw(12)
+     << "makespan" << std::setw(12) << "thruput" << '\n';
+  for (const MultiLoadCellStats& cell : cells) {
+    os << std::setw(6) << cell.scenario.processors << std::setw(7)
+       << cell.scenario.load_count << std::setw(10) << std::fixed
+       << std::setprecision(2) << cell.scenario.mean_interarrival
+       << std::setw(13)
+       << (cell.scenario.policy == multiload::DispatchPolicy::kFifo
+               ? "fifo"
+               : "interleaved")
+       << std::setw(11) << std::setprecision(3) << cell.mean_speedup
+       << std::setw(9) << cell.min_speedup << std::setw(9) << cell.max_speedup
+       << std::setw(12) << cell.mean_makespan << std::setw(12)
+       << cell.mean_throughput << '\n';
+    os.unsetf(std::ios::fixed);
+  }
+}
+
+}  // namespace dls::analysis

@@ -1,0 +1,78 @@
+// Multi-load scenario grid: makespan/throughput of the pipelined
+// MultiLoadSolver against the serialized strict-rounds baseline, swept
+// over load mix x arrival process x chain length on the process-wide
+// pool (the same engine behind the sweep drivers).
+//
+// Every cell is deterministic: instance randomness comes from an RNG
+// seeded by (grid seed, cell index, trial), so the report is identical
+// at any worker count and across runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "multiload/types.hpp"
+
+namespace dls::analysis {
+
+/// One point of the scenario grid.
+struct MultiLoadScenario {
+  std::size_t processors = 3;
+  std::size_t load_count = 2;
+  /// Load mix: sizes drawn log-uniform on [size_lo, size_hi].
+  double size_lo = 0.5;
+  double size_hi = 2.0;
+  /// Arrival process: releases are a Poisson stream with this mean
+  /// inter-arrival time; 0 means every load is released at time 0
+  /// (a batch arrival).
+  double mean_interarrival = 0.0;
+  multiload::DispatchPolicy policy = multiload::DispatchPolicy::kFifo;
+  std::size_t installments = 2;
+  double ingress_z = 0.1;
+};
+
+/// Aggregated trial results for one scenario. Speedup is
+/// serialized_makespan / makespan (> 1 when pipelining wins).
+struct MultiLoadCellStats {
+  MultiLoadScenario scenario;
+  std::size_t trials = 0;
+  double mean_speedup = 0.0;
+  double min_speedup = 0.0;
+  double max_speedup = 0.0;
+  double mean_makespan = 0.0;
+  double mean_serialized = 0.0;
+  /// Loads completed per unit time under pipelined dispatch, averaged
+  /// over trials (load_count / makespan).
+  double mean_throughput = 0.0;
+};
+
+/// The swept axes. Defaults give a 3x3x3x2-cell grid small enough for
+/// a test yet wide enough to separate the dispatch policies.
+struct MultiLoadGridConfig {
+  std::vector<std::size_t> chain_lengths = {3, 5, 9};
+  std::vector<std::size_t> load_counts = {2, 4, 8};
+  std::vector<double> mean_interarrivals = {0.0, 0.5, 2.0};
+  std::vector<multiload::DispatchPolicy> policies = {
+      multiload::DispatchPolicy::kFifo,
+      multiload::DispatchPolicy::kInterleaved};
+  std::size_t trials = 8;
+  std::size_t installments = 2;
+  double ingress_z = 0.1;
+  double size_lo = 0.5;
+  double size_hi = 2.0;
+  std::uint64_t seed = 0x4d4c4752ull;  // "MLGR"
+};
+
+/// Runs every cell of the grid (chain_lengths x load_counts x
+/// mean_interarrivals x policies) on the process-wide pool and returns
+/// the cells in deterministic axis order.
+std::vector<MultiLoadCellStats> run_multiload_grid(
+    const MultiLoadGridConfig& config);
+
+/// Renders the grid as an aligned text table (one row per cell).
+void print_multiload_grid(std::ostream& os,
+                          const std::vector<MultiLoadCellStats>& cells);
+
+}  // namespace dls::analysis

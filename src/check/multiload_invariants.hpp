@@ -1,0 +1,227 @@
+// Machine-checked statements of the multi-load scheduling guarantees.
+//
+// check_multiload_schedule replays the MultiLoadSolver recurrence
+// installment by installment and audits the Comments-paper corrections
+// to multi-load chain scheduling as hard invariants:
+//   * conservation — every installment's size is the exact chunking of
+//     its load (bit-for-bit), and a load's chunks sum back to its size;
+//   * dispatch legality — the installment sequence is exactly the
+//     policy's dispatch order (FIFO or round-robin over release order);
+//   * ingress causality — staging is one-port and starts no earlier
+//     than the load's release; distribution starts no earlier than the
+//     chunk finished staging;
+//   * store-and-forward causality — P_i computes a chunk only after the
+//     chunk's data fully arrived at P_i (compute_start >= arrival);
+//   * one-port non-overlap — consecutive chunks never overlap on any
+//     link, and compute intervals never overlap on any processor;
+//   * the completion rule — an unblocked chunk completes at the
+//     Theorem 2.1 closed form comm_start + size·makespan (which is also
+//     within tolerance of its max finish time); a blocked chunk
+//     completes at its replayed max finish, exactly;
+//   * the serialized baseline replay, and pipelined <= serialized
+//     (asserted for FIFO always, and for interleaved dispatch when all
+//     releases coincide — a late-release load can legitimately wedge
+//     between an interleaved peer's chunks and lose to strict rounds).
+//
+// Replayed quantities are compared with exact == (the checker mirrors
+// the solver's arithmetic expression for expression, like
+// check_batch_lane does for SoA lanes); genuinely independent
+// identities (closed form vs recurrence) use kSolverAuditTol.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "check/contracts.hpp"
+#include "check/solver_invariants.hpp"
+#include "common/tolerance.hpp"
+#include "multiload/solver.hpp"
+#include "multiload/types.hpp"
+#include "net/networks.hpp"
+
+namespace dls::check {
+
+/// Throws ContractViolation unless `schedule` is a valid MultiLoadSolver
+/// output for (network, loads, config). See the file comment for the
+/// audited invariants.
+inline void check_multiload_schedule(const net::LinearNetwork& network,
+                                     const std::vector<multiload::LoadSpec>& loads,
+                                     const multiload::MultiLoadConfig& config,
+                                     const multiload::MultiLoadSchedule& schedule,
+                                     double tol = kSolverAuditTol) {
+  namespace ml = dls::multiload;
+  const std::size_t n = network.size();
+  const std::size_t chunks = std::max<std::size_t>(1, config.installments_per_load);
+  const auto at = [](const char* name, std::size_t t) {
+    return std::string(name) + " at installment " + std::to_string(t);
+  };
+
+  DLS_CHECK(schedule.loads.size() == loads.size(),
+            "schedule must report one outcome per load");
+  DLS_CHECK(schedule.installments.size() == loads.size() * chunks,
+            "schedule must hold installments_per_load chunks per load");
+
+  // Replay the solver's unit-offset precomputation expression for
+  // expression (exact == downstream depends on it).
+  std::vector<double> unit_arrival(n, 0.0);
+  std::vector<double> unit_compute(n, 0.0);
+  unit_compute[0] = schedule.chain.alpha[0] * network.w(0);
+  for (std::size_t i = 1; i < n; ++i) {
+    unit_arrival[i] =
+        unit_arrival[i - 1] + schedule.chain.received[i] * network.z(i);
+    unit_compute[i] = schedule.chain.alpha[i] * network.w(i);
+  }
+
+  const auto order = ml::dispatch_order(loads, config);
+  std::vector<double> link_free(network.workers(), 0.0);
+  std::vector<double> proc_free(n, 0.0);
+  std::vector<double> size_sum(loads.size(), 0.0);
+  std::vector<ml::LoadOutcome> outcomes(loads.size());
+  double ingress_free = 0.0;
+
+  for (std::size_t t = 0; t < order.size(); ++t) {
+    const ml::Installment& inst = schedule.installments[t];
+    const auto [load_index, chunk] = order[t];
+    const ml::LoadSpec& load = loads[load_index];
+    DLS_CHECK(inst.load == load_index && inst.index_in_load == chunk,
+              at("dispatch order diverges from the policy", t));
+    DLS_CHECK(inst.arrival.size() == n && inst.compute_start.size() == n &&
+                  inst.finish.size() == n,
+              at("installment timeline must cover every processor", t));
+
+    // Conservation: the exact chunking, bit for bit.
+    const double s = ml::installment_size(load.size, chunks, chunk);
+    DLS_CHECK(inst.size == s, at("installment size diverges from chunking", t));
+    DLS_CHECK(inst.size > 0.0, at("installment size must be positive", t));
+    size_sum[load_index] += inst.size;
+
+    // Ingress staging: one-port, release-respecting.
+    double stage_start = load.release;
+    double stage_done = load.release;
+    if (config.ingress_z > 0.0) {
+      stage_start = std::max(load.release, ingress_free);
+      stage_done = stage_start + s * config.ingress_z;
+      ingress_free = stage_done;
+    }
+    DLS_CHECK(inst.stage_start == stage_start,
+              at("stage_start diverges from the ingress replay", t));
+    DLS_CHECK(inst.stage_done == stage_done,
+              at("stage_done diverges from the ingress replay", t));
+
+    // One-port links: the chunk may not enter link l_j before the link
+    // finished the previous chunk.
+    double comm_start = stage_done;
+    for (std::size_t j = 1; j <= network.workers(); ++j) {
+      comm_start =
+          std::max(comm_start, link_free[j - 1] - s * unit_arrival[j - 1]);
+    }
+    DLS_CHECK(inst.comm_start == comm_start,
+              at("comm_start diverges from the one-port replay", t));
+    for (std::size_t j = 1; j <= network.workers(); ++j) {
+      // Tolerance, not ==: comm_start folds link_free through a
+      // subtract-then-re-add (max over link_free − s·A, plus s·A back),
+      // which can land one ulp below link_free — an independent
+      // identity, not a replayed expression.
+      const double link_begin = comm_start + s * unit_arrival[j - 1];
+      DLS_CHECK(common::approx_ge(link_begin, link_free[j - 1], tol),
+                at("one-port link overlap", t) + " on link " + std::to_string(j));
+      link_free[j - 1] = comm_start + s * unit_arrival[j];
+    }
+
+    // Per-processor causality, non-overlap and the finish recurrence.
+    bool blocked = false;
+    double max_finish = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double arrival =
+          i == 0 ? stage_done : comm_start + s * unit_arrival[i];
+      DLS_CHECK(inst.arrival[i] == arrival,
+                at("arrival diverges from store-and-forward replay", t));
+      const double start = std::max(arrival, proc_free[i]);
+      DLS_CHECK(inst.compute_start[i] == start,
+                at("compute_start diverges from the replay", t));
+      DLS_CHECK(inst.compute_start[i] >= arrival,
+                at("causality: compute before full arrival", t));
+      DLS_CHECK(inst.compute_start[i] >= proc_free[i],
+                at("one-port processor overlap", t));
+      if (start > arrival) blocked = true;
+      const double finish = start + s * unit_compute[i];
+      DLS_CHECK(inst.finish[i] == finish,
+                at("finish diverges from the replay", t));
+      proc_free[i] = finish;
+      max_finish = std::max(max_finish, finish);
+    }
+    DLS_CHECK(inst.blocked == blocked, at("blocked flag diverges", t));
+
+    // Completion rule: closed form when unblocked, recurrence otherwise;
+    // the two must agree within tolerance whenever the closed form
+    // applies (Theorem 2.1 scaled to the chunk).
+    const bool closed_form = !blocked && network.workers() > 0;
+    const double completion =
+        closed_form ? comm_start + s * schedule.chain.makespan : max_finish;
+    DLS_CHECK(inst.completion == completion,
+              at("completion diverges from the completion rule", t));
+    if (closed_form) {
+      DLS_CHECK(common::approx_equal(completion, max_finish, tol),
+                at("closed-form completion diverges from finish times", t));
+    }
+
+    ml::LoadOutcome& outcome = outcomes[load_index];
+    if (chunk == 0) outcome.start = inst.comm_start;
+    outcome.completion = std::max(outcome.completion, inst.completion);
+  }
+
+  double makespan = 0.0;
+  for (std::size_t k = 0; k < loads.size(); ++k) {
+    const auto lk = [&](const char* name) {
+      return std::string(name) + " for load " + std::to_string(k);
+    };
+    DLS_CHECK(common::approx_equal(size_sum[k], loads[k].size, tol),
+              lk("installment sizes must sum to the load size"));
+    const ml::LoadOutcome& got = schedule.loads[k];
+    DLS_CHECK(got.installments == chunks, lk("installment count diverges"));
+    DLS_CHECK(got.start == outcomes[k].start, lk("load start diverges"));
+    DLS_CHECK(got.completion == outcomes[k].completion,
+              lk("load completion diverges"));
+    const bool met = loads[k].deadline <= 0.0 ||
+                     outcomes[k].completion <= loads[k].deadline;
+    DLS_CHECK(got.deadline_met == met, lk("deadline verdict diverges"));
+    DLS_CHECK(got.completion >= got.start, lk("completion before start"));
+    makespan = std::max(makespan, outcomes[k].completion);
+  }
+  DLS_CHECK(schedule.makespan == makespan,
+            "makespan must be the max load completion");
+
+  // Serialized strict-rounds replay (release order, stage then run).
+  std::vector<std::size_t> by_release(loads.size());
+  for (std::size_t k = 0; k < loads.size(); ++k) by_release[k] = k;
+  std::stable_sort(by_release.begin(), by_release.end(),
+                   [&loads](std::size_t a, std::size_t b) {
+                     return loads[a].release < loads[b].release;
+                   });
+  double clock = 0.0;
+  for (std::size_t k : by_release) {
+    const double start = std::max(loads[k].release, clock);
+    clock = start +
+            loads[k].size * (config.ingress_z + schedule.chain.makespan);
+  }
+  DLS_CHECK(schedule.serialized_makespan == clock,
+            "serialized baseline diverges from the strict-rounds replay");
+
+  // Serialized baseline replay, and the pipelining guarantee. A FIFO
+  // pipeline only ever starts chunks earlier than strict rounds would,
+  // so it can never lose; interleaved dispatch shares that guarantee
+  // only when no load is released mid-schedule.
+  bool releases_equal = true;
+  for (const ml::LoadSpec& load : loads) {
+    releases_equal = releases_equal && load.release == loads.front().release;
+  }
+  if (config.policy == ml::DispatchPolicy::kFifo || releases_equal) {
+    DLS_CHECK(common::approx_le(schedule.makespan,
+                                schedule.serialized_makespan, tol),
+              "pipelined dispatch must not lose to serialized rounds");
+  }
+}
+
+}  // namespace dls::check

@@ -2,8 +2,8 @@
 //
 // The certification sweeps (THM5.1/5.3 grids, fault sweeps, Monte-Carlo
 // baselines) are embarrassingly parallel but latency-sensitive: the old
-// analysis::parallel_for spawned and joined fresh std::threads on every
-// call, so a bench that issues thousands of small sweeps paid thread
+// analysis-layer sweep driver spawned and joined fresh std::threads on
+// every call, so a bench that issues thousands of small sweeps paid thread
 // creation each time. This pool spawns its workers once, parks them on a
 // condition variable, and dispatches chunked index ranges through
 // per-worker deques with work stealing:
@@ -71,8 +71,8 @@ class ThreadPool {
       const std::function<void(std::size_t, std::size_t)>& body,
       ForOptions options = {});
 
-  /// The process-wide pool used by analysis::parallel_for and the sweep
-  /// drivers. Created on first use, joined at exit.
+  /// The process-wide pool used by the sweep drivers and the analysis
+  /// grids. Created on first use, joined at exit.
   static ThreadPool& global();
 
  private:

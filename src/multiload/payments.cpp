@@ -1,0 +1,137 @@
+#include "multiload/payments.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace dls::multiload {
+
+namespace {
+
+/// size · (x − flat) + flat: the linear part of a unit quantity scaled
+/// to the load, with the flat solution-bonus part carried unscaled. At
+/// size == 1 this is bit-identical to x (1·(x−f)+f == x only up to
+/// rounding in general, so the scaler special-cases it).
+double scale_with_flat(double unit_value, double flat, double size) {
+  if (size == 1.0) return unit_value;
+  return size * (unit_value - flat) + flat;
+}
+
+void fill_load(const core::DlsLblResult& unit, const LoadSpec& spec,
+               LoadPayments& out) {
+  const std::size_t n = unit.processors.size();
+  out.load_id = spec.id;
+  out.size = spec.size;
+  out.payment.assign(n, 0.0);
+  out.compensation.assign(n, 0.0);
+  out.bonus.assign(n, 0.0);
+  out.solution_bonus.assign(n, 0.0);
+  out.total_payment = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const core::PaymentBreakdown& money = unit.processors[j].money;
+    out.compensation[j] = spec.size * money.compensation;
+    out.bonus[j] = spec.size * money.bonus;
+    out.solution_bonus[j] = money.solution_bonus;
+    if (j > 0) {
+      out.payment[j] =
+          scale_with_flat(money.payment, money.solution_bonus, spec.size);
+      out.total_payment += out.payment[j];
+    }
+  }
+  out.mechanism_cost = out.total_payment + out.compensation[0];
+}
+
+}  // namespace
+
+MultiLoadAssessment assess_loads(const net::LinearNetwork& bid_network,
+                                 std::span<const double> actual_rates,
+                                 const std::vector<LoadSpec>& loads,
+                                 const core::MechanismConfig& config) {
+  core::AssessWorkspace ws;
+  return assess_loads(bid_network, actual_rates, loads, config, ws);
+}
+
+MultiLoadAssessment assess_loads(const net::LinearNetwork& bid_network,
+                                 std::span<const double> actual_rates,
+                                 const std::vector<LoadSpec>& loads,
+                                 const core::MechanismConfig& config,
+                                 core::AssessWorkspace& ws) {
+  DLS_REQUIRE(!loads.empty(), "assess_loads needs at least one load");
+  MultiLoadAssessment result;
+  result.unit = core::assess_compliant(bid_network, actual_rates, config, ws);
+  result.loads.resize(loads.size());
+  for (std::size_t k = 0; k < loads.size(); ++k) {
+    DLS_REQUIRE(loads[k].size > 0.0, "load sizes must be positive");
+    fill_load(result.unit, loads[k], result.loads[k]);
+    result.total_payment += result.loads[k].total_payment;
+    result.mechanism_cost += result.loads[k].mechanism_cost;
+  }
+  return result;
+}
+
+void post_to_ledger(payment::Ledger& ledger,
+                    const MultiLoadAssessment& assessment,
+                    payment::AccountId first_account) {
+  const std::size_t n = assessment.unit.processors.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    const payment::AccountId account =
+        first_account + static_cast<payment::AccountId>(j);
+    if (!ledger.has_account(account)) ledger.open_account(account);
+  }
+  for (const LoadPayments& load : assessment.loads) {
+    const std::string memo = "load " + std::to_string(load.load_id);
+    for (std::size_t j = 0; j < n; ++j) {
+      const payment::AccountId account =
+          first_account + static_cast<payment::AccountId>(j);
+      // The root is reimbursed its compute cost; strategic processors
+      // are paid Q_j = C_j + B_j (+ S). Zero-amount legs are skipped so
+      // the statement stays readable.
+      if (load.compensation[j] > 0.0) {
+        ledger.post({payment::kTreasury, account,
+                     payment::TransferKind::kCompensation,
+                     load.compensation[j], memo});
+      }
+      if (j > 0 && load.bonus[j] > 0.0) {
+        ledger.post({payment::kTreasury, account,
+                     payment::TransferKind::kBonus, load.bonus[j], memo});
+      }
+      if (j > 0 && load.solution_bonus[j] > 0.0) {
+        ledger.post({payment::kTreasury, account,
+                     payment::TransferKind::kSolutionBonus,
+                     load.solution_bonus[j], memo});
+      }
+    }
+  }
+}
+
+MultiLoadMechanism::MultiLoadMechanism(const net::LinearNetwork& bid_base,
+                                       std::span<const double> actual_rates,
+                                       const core::MechanismConfig& config)
+    : mechanism_(bid_base, actual_rates, config), config_(config) {}
+
+double MultiLoadMechanism::scale(double unit_utility, double size) const {
+  const double flat =
+      config_.solution_bonus_enabled ? config_.solution_bonus : 0.0;
+  if (size == 1.0) return unit_utility;
+  return size * (unit_utility - flat) + flat;
+}
+
+double MultiLoadMechanism::utility(std::size_t index, double bid,
+                                   double actual_rate, double size) {
+  DLS_REQUIRE(size > 0.0, "load sizes must be positive");
+  return scale(mechanism_.utility(index, bid, actual_rate), size);
+}
+
+void MultiLoadMechanism::utility_curve(std::size_t index,
+                                       std::span<const double> bids,
+                                       double size,
+                                       std::span<double> utilities) {
+  DLS_REQUIRE(size > 0.0, "load sizes must be positive");
+  DLS_REQUIRE(bids.size() == utilities.size(),
+              "utility_curve output span must match the bid count");
+  mechanism_.utility_curve(index, bids, utilities);
+  for (double& u : utilities) u = scale(u, size);
+}
+
+}  // namespace dls::multiload

@@ -1,0 +1,104 @@
+// Per-load DLS-LBL payments for multi-load schedules.
+//
+// The paper's mechanism (Sect. 4) prices one unit load; a multi-load
+// round prices each load separately so every client is billed for its
+// own traffic and every processor is paid per load it computed. The
+// payment rules are linear in the load size — α, V, C, E, B all scale
+// with the units processed — except the flat Theorem 5.2 solution
+// bonus, which is a fixed reward per verified solution. So one unit
+// assessment of the bid network (core::assess_compliant) prices every
+// load: Q_j(load) = size · (Q_j(unit) − S) + S.
+//
+// MultiLoadMechanism answers per-load counterfactual utilities the same
+// way: one shared dlt::CounterfactualSolver (inside
+// core::CounterfactualMechanism) makes a "what if P_j had bid w for
+// this load" query an O(j) incremental rebid, not a full re-solve.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dls_lbl.hpp"
+#include "multiload/types.hpp"
+#include "net/networks.hpp"
+#include "payment/ledger.hpp"
+
+namespace dls::multiload {
+
+/// Monetary outcome of one load, per processor (index 0..m; the root's
+/// payment entry is 0, its compensation is the mechanism's
+/// reimbursement of the root's own compute cost).
+struct LoadPayments {
+  std::uint64_t load_id = 0;
+  double size = 0.0;
+  std::vector<double> payment;        ///< size-scaled Q_j
+  std::vector<double> compensation;   ///< size-scaled C_j
+  std::vector<double> bonus;          ///< size-scaled B_j
+  std::vector<double> solution_bonus; ///< flat S per processor (unscaled)
+  double total_payment = 0.0;         ///< Σ_{j>=1} payment[j]
+  double mechanism_cost = 0.0;        ///< total + root reimbursement
+};
+
+/// The shared unit assessment plus its per-load scalings.
+struct MultiLoadAssessment {
+  core::DlsLblResult unit;  ///< assess_compliant on the bid network
+  std::vector<LoadPayments> loads;  ///< one entry per input load
+  double total_payment = 0.0;
+  double mechanism_cost = 0.0;
+};
+
+/// Prices every load of a multi-load round with ONE unit assessment
+/// (reused via `ws` when provided). `actual_rates` are the metered
+/// rates, as in core::assess_compliant.
+MultiLoadAssessment assess_loads(const net::LinearNetwork& bid_network,
+                                 std::span<const double> actual_rates,
+                                 const std::vector<LoadSpec>& loads,
+                                 const core::MechanismConfig& config);
+
+MultiLoadAssessment assess_loads(const net::LinearNetwork& bid_network,
+                                 std::span<const double> actual_rates,
+                                 const std::vector<LoadSpec>& loads,
+                                 const core::MechanismConfig& config,
+                                 core::AssessWorkspace& ws);
+
+/// Posts every load's transfers to `ledger`, double-entry against the
+/// treasury: compensation (root reimbursement included) and bonus per
+/// processor per load, plus the flat solution bonus when paid. The
+/// account of P_i is `first_account + i` (accounts are opened if
+/// missing); memos carry the load id so a statement can be split per
+/// client. Conservation (Σ balances == 0) holds by construction and is
+/// asserted by the ledger itself.
+void post_to_ledger(payment::Ledger& ledger,
+                    const MultiLoadAssessment& assessment,
+                    payment::AccountId first_account);
+
+/// Per-load counterfactual utilities over one shared incremental
+/// solver. Wraps core::CounterfactualMechanism with the same size
+/// scaling as assess_loads, so
+///   utility(j, bid, actual, size) == size · (U_j(unit) − S) + S
+/// bit-for-bit with the unscaled mechanism at size 1.
+class MultiLoadMechanism {
+ public:
+  MultiLoadMechanism(const net::LinearNetwork& bid_base,
+                     std::span<const double> actual_rates,
+                     const core::MechanismConfig& config);
+
+  /// U_index for a load of `size` when bidding `bid` and executing at
+  /// `actual_rate`; everyone else per the base profile. index >= 1.
+  double utility(std::size_t index, double bid, double actual_rate,
+                 double size);
+
+  /// Batched bid sweep for one load: utilities[k] = utility(index,
+  /// bids[k], base actual rate, size), via one SoA rebid pass.
+  void utility_curve(std::size_t index, std::span<const double> bids,
+                     double size, std::span<double> utilities);
+
+ private:
+  double scale(double unit_utility, double size) const;
+
+  core::CounterfactualMechanism mechanism_;
+  core::MechanismConfig config_;
+};
+
+}  // namespace dls::multiload

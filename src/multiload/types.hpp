@@ -1,0 +1,93 @@
+// Multi-load scheduling on one chain: the problem and schedule types.
+//
+// The repo's single-load pipeline answers one divisible load per round;
+// Gallet–Robert–Vivien ("Scheduling multiple divisible loads on a
+// linear processor network", PAPERS.md) treat the same topology with
+// several loads in flight, distributed in installments over pipelined
+// one-port links. This module makes installments first-class objects:
+// every chunk of every load carries its own size, dispatch time and a
+// full per-processor timeline, so the check layer can replay the
+// schedule recurrence installment by installment (the Comments paper's
+// corrections to the original multi-load strategies, stated as
+// auditable invariants — see check/multiload_invariants.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dlt/linear.hpp"
+
+namespace dls::multiload {
+
+/// One divisible load queued for the chain.
+struct LoadSpec {
+  std::uint64_t id = 0;   ///< caller-chosen tag, echoed in results
+  double size = 1.0;      ///< load units (the single-load problem is 1)
+  double release = 0.0;   ///< earliest instant distribution may start
+  double deadline = 0.0;  ///< completion target in schedule time; 0 = none
+};
+
+/// How queued loads are cut into installments and ordered on the wire.
+enum class DispatchPolicy : std::uint8_t {
+  /// Loads in release order, every installment of a load before the
+  /// next load's first. With one installment per load this is the
+  /// serialized order — but still pipelined: load k+1's distribution
+  /// overlaps load k's computation.
+  kFifo = 0,
+  /// Round-robin across released loads: installment r of every active
+  /// load before installment r+1 of any. Smaller chunks start every
+  /// load earlier at the cost of more pipeline turnarounds.
+  kInterleaved = 1,
+};
+
+/// One installment: a chunk of one load pushed down the chain as a
+/// scaled Algorithm-1 distribution.
+struct Installment {
+  std::size_t load = 0;          ///< index into the input load vector
+  std::size_t index_in_load = 0; ///< 0-based installment number
+  double size = 0.0;             ///< load units carried
+  /// Ingress staging: the chunk's data travels from the admission queue
+  /// into the root over a one-port ingress link (MultiLoadConfig::
+  /// ingress_z per load unit) before the chain may distribute it. With
+  /// ingress_z == 0 the chunk is resident at the root from its release
+  /// (stage_done == the load's release time).
+  double stage_start = 0.0;
+  double stage_done = 0.0;
+  double comm_start = 0.0;       ///< when link l_1 starts carrying it
+  double completion = 0.0;       ///< last compute finish of the chunk
+  bool blocked = false;          ///< some processor started past arrival
+  /// Per-processor timeline (network.size() entries each): when the
+  /// chunk's data has fully arrived at P_i (store-and-forward), when
+  /// P_i starts computing it (>= arrival; later only when P_i was
+  /// still busy with an earlier installment), and when it finishes.
+  std::vector<double> arrival;
+  std::vector<double> compute_start;
+  std::vector<double> finish;
+};
+
+/// Per-load outcome aggregated over its installments.
+struct LoadOutcome {
+  LoadSpec spec;
+  std::size_t installments = 0;
+  double start = 0.0;        ///< comm_start of the first installment
+  double completion = 0.0;   ///< compute finish of the last installment
+  bool deadline_met = true;  ///< completion <= deadline (or no deadline)
+};
+
+/// A complete multi-load schedule.
+struct MultiLoadSchedule {
+  /// Algorithm 1 on the chain; every installment reuses these fractions
+  /// (scaled by installment size), so a one-load one-installment
+  /// schedule is bit-identical to solve_linear_boundary.
+  dlt::LinearSolution chain;
+  std::vector<LoadOutcome> loads;        ///< input order
+  std::vector<Installment> installments; ///< dispatch order
+  double makespan = 0.0;             ///< last completion over all loads
+  /// Baseline the serve layer produces today: load k+1's distribution
+  /// starts only after load k fully completed. Pipelined dispatch never
+  /// exceeds this (asserted by the invariant checker).
+  double serialized_makespan = 0.0;
+};
+
+}  // namespace dls::multiload

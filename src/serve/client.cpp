@@ -42,6 +42,40 @@ ScheduleResponse SchedulerClient::schedule(const net::LinearNetwork& network,
                     options);
 }
 
+MultiScheduleResponse SchedulerClient::schedule_multi(
+    MultiScheduleRequest request, double timeout_s) {
+  request.request_id = ++next_id_;
+  write_frame(*end_, Frame{FrameType::kMultiScheduleRequest,
+                           encode_multi_schedule_request(request)});
+  for (;;) {
+    auto frame = read_frame(*end_, timeout_s);
+    if (!frame) {
+      throw TransportError("service closed the connection before answering");
+    }
+    if (frame->type != FrameType::kMultiScheduleResponse) {
+      throw TransportError("unexpected frame type '" +
+                           to_string(frame->type) +
+                           "' while awaiting a multi-schedule response");
+    }
+    MultiScheduleResponse response =
+        decode_multi_schedule_response(frame->payload);
+    if (response.request_id == request.request_id ||
+        response.request_id == 0) {
+      return response;
+    }
+    if (response.request_id < request.request_id) {
+      // A stale answer to an earlier attempt: skip past it, exactly as
+      // the single-load round trip does.
+      DLS_COUNT("serve.client.stale_responses");
+      continue;
+    }
+    throw TransportError("response id " +
+                         std::to_string(response.request_id) +
+                         " does not match request id " +
+                         std::to_string(request.request_id));
+  }
+}
+
 ScheduleResponse SchedulerClient::schedule_with_retry(
     std::span<const double> w, std::span<const double> z,
     const ScheduleOptions& options, const protocol::HeartbeatConfig& policy,

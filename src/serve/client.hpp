@@ -26,6 +26,7 @@
 
 #include "net/networks.hpp"
 #include "protocol/recovery.hpp"
+#include "serve/multiload_wire.hpp"
 #include "serve/pipe.hpp"
 #include "serve/retry.hpp"
 #include "serve/service_wire.hpp"
@@ -89,6 +90,14 @@ class SchedulerClient {
   /// Convenience flavour over a network description.
   ScheduleResponse schedule(const net::LinearNetwork& network,
                             const ScheduleOptions& options = {});
+
+  /// One synchronous multi-load round trip: assigns the request id,
+  /// writes a kMultiScheduleRequest frame and blocks for the matching
+  /// response. The caller fills everything else (chain, loads, policy
+  /// knobs). Throws TransportError when the service hung up and
+  /// TransportTimeout when `timeout_s` > 0 elapses first.
+  MultiScheduleResponse schedule_multi(MultiScheduleRequest request,
+                                       double timeout_s = 0.0);
 
   /// schedule(), resending on kShed with exponential backoff per
   /// `policy`, each wait scaled by a seeded jitter factor in [0.5, 1)

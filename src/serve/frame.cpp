@@ -24,12 +24,15 @@ Header take_header(codec::Reader& r) {
   }
   const std::uint8_t version = r.u8();
   if (version != kFrameVersion) {
-    throw codec::DecodeError("unsupported frame version " +
-                             std::to_string(version));
+    throw FrameVersionError("unsupported frame version " +
+                                std::to_string(version) + " (this build " +
+                                "speaks version " +
+                                std::to_string(kFrameVersion) + ")",
+                            version);
   }
   const std::uint8_t type = r.u8();
   if (type < static_cast<std::uint8_t>(FrameType::kScheduleRequest) ||
-      type > static_cast<std::uint8_t>(FrameType::kPayment)) {
+      type > static_cast<std::uint8_t>(FrameType::kMultiScheduleResponse)) {
     throw codec::DecodeError("unknown frame type " + std::to_string(type));
   }
   const std::uint32_t length = r.u32();
@@ -93,6 +96,10 @@ std::string to_string(FrameType type) {
       return "report";
     case FrameType::kPayment:
       return "payment";
+    case FrameType::kMultiScheduleRequest:
+      return "multi_schedule_request";
+    case FrameType::kMultiScheduleResponse:
+      return "multi_schedule_response";
   }
   return "unknown";
 }

@@ -5,7 +5,7 @@
 //   offset  size  field
 //   0       4     magic    0x46534C44 ("DLSF" as little-endian bytes)
 //   4       1     version  (kFrameVersion)
-//   5       1     type     (FrameType, 1..6)
+//   5       1     type     (FrameType, 1..8)
 //   6       4     payload length N (little-endian; N <= kMaxFramePayload)
 //   10      4     checksum (frame_checksum of the payload, little-endian)
 //   14      N     payload  (a protocol/serve wire encoding, magic included)
@@ -48,6 +48,8 @@ enum class FrameType : std::uint8_t {
   kAllocation = 4,        ///< protocol::AllocationMessage (Phase II)
   kReport = 5,            ///< protocol::ReportMessage (Phase III)
   kPayment = 6,           ///< protocol::PaymentMessage (Phase IV)
+  kMultiScheduleRequest = 7,   ///< serve::MultiScheduleRequest
+  kMultiScheduleResponse = 8,  ///< serve::MultiScheduleResponse
 };
 
 std::string to_string(FrameType type);
@@ -63,6 +65,24 @@ inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 26;
 struct Frame {
   FrameType type{};
   codec::Bytes payload;
+};
+
+/// The frame header announced a version this build does not speak.
+/// Carries the peer's version so a gateway can log or negotiate instead
+/// of parsing it back out of the message text (v1/v2 peers are common
+/// during rollouts; their version used to be lost in the what() string).
+class FrameVersionError : public codec::DecodeError {
+ public:
+  FrameVersionError(const std::string& what, std::uint8_t received)
+      : DecodeError(what), received_(received) {}
+
+  /// The version byte the peer sent.
+  std::uint8_t received() const noexcept { return received_; }
+  /// The version this build speaks (kFrameVersion).
+  std::uint8_t supported() const noexcept { return kFrameVersion; }
+
+ private:
+  std::uint8_t received_;
 };
 
 /// A frame ended before its announced length was reached. peer_closed()

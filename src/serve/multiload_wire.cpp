@@ -1,0 +1,177 @@
+#include "serve/multiload_wire.hpp"
+
+namespace dls::serve {
+
+namespace {
+
+constexpr std::string_view kMultiRequestMagic = "dls.serve.mreq.v1";
+constexpr std::string_view kMultiResponseMagic = "dls.serve.mresp.v1";
+
+/// Caps decoded counts so a malformed length cannot force a giant
+/// allocation before the truncation check fires. Loads are richer than
+/// bare doubles, so their cap is tighter than the vector cap.
+constexpr std::uint64_t kMaxVectorLength = std::uint64_t{1} << 20;
+constexpr std::uint64_t kMaxLoadCount = std::uint64_t{1} << 16;
+
+void expect_magic(codec::Reader& r, std::string_view magic) {
+  const std::string found = r.string();
+  if (found != magic) {
+    throw codec::DecodeError("bad wire magic: expected '" +
+                             std::string(magic) + "', got '" + found + "'");
+  }
+}
+
+void put_f64_vector(codec::Writer& w, std::span<const double> values) {
+  w.varint(values.size());
+  w.f64_array(values);
+}
+
+std::vector<double> take_f64_vector(codec::Reader& r) {
+  const std::uint64_t count = r.varint();
+  if (count > kMaxVectorLength) {
+    throw codec::DecodeError("vector length " + std::to_string(count) +
+                             " exceeds the wire cap");
+  }
+  std::vector<double> values(static_cast<std::size_t>(count));
+  r.f64_array(values);
+  return values;
+}
+
+bool take_bool(codec::Reader& r) {
+  const std::uint8_t v = r.u8();
+  if (v > 1) {
+    throw codec::DecodeError("bad boolean byte " + std::to_string(v));
+  }
+  return v == 1;
+}
+
+}  // namespace
+
+codec::Bytes encode_multi_schedule_request(
+    const MultiScheduleRequest& request) {
+  codec::Writer w;
+  w.string(kMultiRequestMagic);
+  w.u64(request.request_id);
+  w.u8(request.policy);
+  w.u32(request.installments);
+  w.f64(request.ingress_z);
+  w.f64(request.deadline_us);
+  w.u8(request.want_payments ? 1 : 0);
+  put_f64_vector(w, request.w);
+  put_f64_vector(w, request.z);
+  w.varint(request.loads.size());
+  for (const MultiLoadItem& load : request.loads) {
+    w.u64(load.load_id);
+    w.f64(load.size);
+    w.f64(load.release);
+    w.f64(load.deadline);
+  }
+  return w.take();
+}
+
+MultiScheduleRequest decode_multi_schedule_request(
+    std::span<const std::uint8_t> data) {
+  codec::Reader r(data);
+  expect_magic(r, kMultiRequestMagic);
+  MultiScheduleRequest request;
+  request.request_id = r.u64();
+  request.policy = r.u8();
+  if (request.policy > 1) {
+    throw codec::DecodeError("unknown dispatch policy " +
+                             std::to_string(request.policy));
+  }
+  request.installments = r.u32();
+  if (request.installments == 0) {
+    throw codec::DecodeError("multi-load request asks for zero installments");
+  }
+  request.ingress_z = r.f64();
+  request.deadline_us = r.f64();
+  request.want_payments = take_bool(r);
+  request.w = take_f64_vector(r);
+  request.z = take_f64_vector(r);
+  const std::uint64_t count = r.varint();
+  if (count > kMaxLoadCount) {
+    throw codec::DecodeError("load count " + std::to_string(count) +
+                             " exceeds the wire cap");
+  }
+  request.loads.resize(static_cast<std::size_t>(count));
+  for (MultiLoadItem& load : request.loads) {
+    load.load_id = r.u64();
+    load.size = r.f64();
+    load.release = r.f64();
+    load.deadline = r.f64();
+  }
+  r.expect_done();
+  if (request.w.empty()) {
+    throw codec::DecodeError("multi-load request carries an empty chain");
+  }
+  if (request.z.size() + 1 != request.w.size()) {
+    throw codec::DecodeError(
+        "multi-load request link count mismatch: " +
+        std::to_string(request.w.size()) + " processors need " +
+        std::to_string(request.w.size() - 1) + " links, got " +
+        std::to_string(request.z.size()));
+  }
+  if (request.loads.empty()) {
+    throw codec::DecodeError("multi-load request carries no loads");
+  }
+  return request;
+}
+
+codec::Bytes encode_multi_schedule_response(
+    const MultiScheduleResponse& response) {
+  codec::Writer w;
+  w.string(kMultiResponseMagic);
+  w.u64(response.request_id);
+  w.u8(static_cast<std::uint8_t>(response.status));
+  w.string(response.error);
+  w.varint(response.loads.size());
+  for (const MultiLoadResult& load : response.loads) {
+    w.u64(load.load_id);
+    w.f64(load.start);
+    w.f64(load.completion);
+    w.u8(load.deadline_met ? 1 : 0);
+    w.f64(load.total_payment);
+  }
+  w.f64(response.makespan);
+  w.f64(response.serialized_makespan);
+  w.f64(response.total_payment);
+  w.f64(response.retry_after_us);
+  return w.take();
+}
+
+MultiScheduleResponse decode_multi_schedule_response(
+    std::span<const std::uint8_t> data) {
+  codec::Reader r(data);
+  expect_magic(r, kMultiResponseMagic);
+  MultiScheduleResponse response;
+  response.request_id = r.u64();
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(ScheduleStatus::kDegraded)) {
+    throw codec::DecodeError("unknown schedule status " +
+                             std::to_string(status));
+  }
+  response.status = static_cast<ScheduleStatus>(status);
+  response.error = r.string();
+  const std::uint64_t count = r.varint();
+  if (count > kMaxLoadCount) {
+    throw codec::DecodeError("load count " + std::to_string(count) +
+                             " exceeds the wire cap");
+  }
+  response.loads.resize(static_cast<std::size_t>(count));
+  for (MultiLoadResult& load : response.loads) {
+    load.load_id = r.u64();
+    load.start = r.f64();
+    load.completion = r.f64();
+    load.deadline_met = take_bool(r);
+    load.total_payment = r.f64();
+  }
+  response.makespan = r.f64();
+  response.serialized_makespan = r.f64();
+  response.total_payment = r.f64();
+  response.retry_after_us = r.f64();
+  r.expect_done();
+  return response;
+}
+
+}  // namespace dls::serve

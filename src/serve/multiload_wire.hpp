@@ -1,0 +1,81 @@
+// Wire format for the multi-load scheduling request/response pair.
+//
+// A MultiScheduleRequest carries one chain topology plus a batch of
+// loads to run on it concurrently (per-load size, release and model
+// deadline) and the dispatch policy knobs of
+// multiload::MultiLoadConfig. The response echoes per-load outcomes
+// (start, completion, deadline verdict, and on request the per-load
+// payment total) plus the schedule's makespan against the serialized
+// baseline — or a typed refusal with exactly the single-load semantics:
+// kShed under admission pressure, kDegraded during brown-out (with a
+// retry-after hint), kExpired past the admission deadline, kError for
+// malformed or infeasible batches.
+//
+// Encodings follow the codec/wire discipline: canonical little-endian
+// layout, strict decode (unknown magic, truncation, trailing bytes and
+// malformed counts rejected), doubles as IEEE-754 bit patterns.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "codec/bytes.hpp"
+#include "serve/service_wire.hpp"
+
+namespace dls::serve {
+
+/// One load of a multi-load batch as it crosses the wire.
+struct MultiLoadItem {
+  std::uint64_t load_id = 0;
+  double size = 1.0;
+  double release = 0.0;   ///< model time the load becomes available
+  double deadline = 0.0;  ///< model-time completion target; 0 = none
+};
+
+/// One multi-load scheduling problem.
+struct MultiScheduleRequest {
+  std::uint64_t request_id = 0;
+  std::vector<double> w;  ///< m+1 processing times (P_0..P_m)
+  std::vector<double> z;  ///< m link times (l_1..l_m)
+  std::vector<MultiLoadItem> loads;
+  std::uint8_t policy = 0;          ///< multiload::DispatchPolicy value
+  std::uint32_t installments = 1;   ///< chunks per load (>= 1)
+  double ingress_z = 0.0;           ///< staging link unit time
+  /// Admission-relative deadline in microseconds (same semantics as
+  /// ScheduleOptions::deadline_us); 0 defers to the service default.
+  double deadline_us = 0.0;
+  bool want_payments = false;       ///< per-load DLS-LBL payment totals
+};
+
+/// Per-load slice of the answer.
+struct MultiLoadResult {
+  std::uint64_t load_id = 0;
+  double start = 0.0;         ///< comm_start of the load's first chunk
+  double completion = 0.0;    ///< compute finish of its last chunk
+  bool deadline_met = true;
+  double total_payment = 0.0; ///< Σ_{j>=1} Q_j for this load (on request)
+};
+
+struct MultiScheduleResponse {
+  std::uint64_t request_id = 0;
+  ScheduleStatus status = ScheduleStatus::kOk;
+  std::string error;        ///< empty unless kError/kDegraded
+  std::vector<MultiLoadResult> loads;  ///< kOk only, request order
+  double makespan = 0.0;               ///< last completion (kOk only)
+  double serialized_makespan = 0.0;    ///< strict-rounds baseline (kOk)
+  double total_payment = 0.0;          ///< Σ loads (kOk + want_payments)
+  double retry_after_us = 0.0;         ///< kDegraded hint
+};
+
+codec::Bytes encode_multi_schedule_request(const MultiScheduleRequest& request);
+MultiScheduleRequest decode_multi_schedule_request(
+    std::span<const std::uint8_t> data);
+
+codec::Bytes encode_multi_schedule_response(
+    const MultiScheduleResponse& response);
+MultiScheduleResponse decode_multi_schedule_response(
+    std::span<const std::uint8_t> data);
+
+}  // namespace dls::serve

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/discipline.hpp"
+#include "multiload/payments.hpp"
+#include "multiload/solver.hpp"
 #include "net/networks.hpp"
 #include "obs/obs.hpp"
 #include "serve/frame.hpp"
@@ -190,6 +192,30 @@ void SchedulerService::session_loop(Session* session) {
         }
       }
       if (!frame) return;  // clean EOF: the client hung up
+      if (frame->type == FrameType::kMultiScheduleRequest) {
+        MultiScheduleRequest request;
+        try {
+          request = decode_multi_schedule_request(frame->payload);
+        } catch (const codec::DecodeError& e) {
+          MultiScheduleResponse refusal;
+          refusal.status = ScheduleStatus::kError;
+          refusal.error = e.what();
+          count_multi_response(refusal);
+          send_multi_response(session, refusal);
+          continue;
+        }
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.received;
+          ++stats_.multi_received;
+        }
+        DLS_COUNT("serve.multi.requests");
+        Pending pending;
+        pending.multi = std::move(request);
+        pending.session = session;
+        admit(std::move(pending));
+        continue;
+      }
       if (frame->type != FrameType::kScheduleRequest) {
         ScheduleResponse refusal;
         refusal.status = ScheduleStatus::kError;
@@ -215,7 +241,10 @@ void SchedulerService::session_loop(Session* session) {
         ++stats_.received;
       }
       DLS_COUNT("serve.requests");
-      admit(std::move(request), session);
+      Pending pending;
+      pending.request = std::move(request);
+      pending.session = session;
+      admit(std::move(pending));
     }
   } catch (const TransportError&) {
     // Peer vanished; the connection is dead either way.
@@ -273,14 +302,40 @@ bool SchedulerService::try_brownout(const ScheduleRequest& request,
   return true;
 }
 
-void SchedulerService::admit(ScheduleRequest request, Session* session) {
-  if (try_brownout(request, session)) return;
+bool SchedulerService::try_brownout_multi(const MultiScheduleRequest& request,
+                                          Session* session) {
+  if (config_.brownout_watermark == 0) return false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (queue_.size() < config_.brownout_watermark) return false;
+  }
+  // No cache fast path here: a multi-load answer depends on the whole
+  // load mix, never on topology alone, so brown-out always refuses
+  // with the typed hint.
+  DLS_SPAN("serve.brownout");
+  MultiScheduleResponse degraded;
+  degraded.request_id = request.request_id;
+  degraded.status = ScheduleStatus::kDegraded;
+  degraded.error = "service degraded: queue above brown-out watermark";
+  degraded.retry_after_us = config_.degraded_retry_after_us;
+  count_multi_response(degraded);
+  send_multi_response(session, degraded);
+  return true;
+}
+
+void SchedulerService::admit(Pending pending) {
+  if (pending.multi) {
+    if (try_brownout_multi(*pending.multi, pending.session)) return;
+  } else if (try_brownout(pending.request, pending.session)) {
+    return;
+  }
+  Session* session = pending.session;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (!stopping_ && queue_.size() < config_.queue_capacity) {
       session->pending.fetch_add(1, std::memory_order_relaxed);
-      queue_.push_back(Pending{std::move(request),
-                               std::chrono::steady_clock::now(), session});
+      pending.admitted_at = std::chrono::steady_clock::now();
+      queue_.push_back(std::move(pending));
       DLS_GAUGE_MAX("serve.queue_depth", static_cast<double>(queue_.size()));
       {
         std::lock_guard<std::mutex> stats_lock(stats_mutex_);
@@ -292,8 +347,16 @@ void SchedulerService::admit(ScheduleRequest request, Session* session) {
   }
   // Explicit backpressure: the client learns immediately and retries
   // with backoff instead of waiting on a silently growing queue.
+  if (pending.multi) {
+    MultiScheduleResponse shed;
+    shed.request_id = pending.multi->request_id;
+    shed.status = ScheduleStatus::kShed;
+    count_multi_response(shed);
+    send_multi_response(session, shed);
+    return;
+  }
   ScheduleResponse shed;
-  shed.request_id = request.request_id;
+  shed.request_id = pending.request.request_id;
   shed.status = ScheduleStatus::kShed;
   count_response(shed);
   send_response(session, shed);
@@ -325,12 +388,21 @@ void SchedulerService::dispatch_loop() {
     rest.swap(queue_);
   }
   for (const Pending& pending : rest) {
-    ScheduleResponse refusal;
-    refusal.request_id = pending.request.request_id;
-    refusal.status = ScheduleStatus::kError;
-    refusal.error = "service stopped before the request was served";
-    count_response(refusal);
-    send_response(pending.session, refusal);
+    if (pending.multi) {
+      MultiScheduleResponse refusal;
+      refusal.request_id = pending.multi->request_id;
+      refusal.status = ScheduleStatus::kError;
+      refusal.error = "service stopped before the request was served";
+      count_multi_response(refusal);
+      send_multi_response(pending.session, refusal);
+    } else {
+      ScheduleResponse refusal;
+      refusal.request_id = pending.request.request_id;
+      refusal.status = ScheduleStatus::kError;
+      refusal.error = "service stopped before the request was served";
+      count_response(refusal);
+      send_response(pending.session, refusal);
+    }
     pending.session->pending.fetch_sub(1, std::memory_order_release);
   }
 }
@@ -341,6 +413,7 @@ void SchedulerService::process_batch(std::vector<Pending>& batch) {
   DLS_OBSERVE("serve.batch_size", static_cast<double>(batch.size()),
               {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
   std::vector<ScheduleResponse> responses(batch.size());
+  std::vector<MultiScheduleResponse> multi_responses(batch.size());
   std::vector<SingleTask> singles;
   std::vector<MissGroup> groups;
   classify_window(batch, responses, singles, groups);
@@ -353,7 +426,11 @@ void SchedulerService::process_batch(std::vector<Pending>& batch) {
       solve_group(groups[t], *dispatch_scratch_[t], batch, responses);
     } else {
       const SingleTask& task = singles[t - group_count];
-      responses[task.index] = handle(batch[task.index], &task);
+      if (batch[task.index].multi) {
+        multi_responses[task.index] = handle_multi(batch[task.index]);
+      } else {
+        responses[task.index] = handle(batch[task.index], &task);
+      }
     }
   });
   // Responses are written serially, in admission order, after the
@@ -363,6 +440,12 @@ void SchedulerService::process_batch(std::vector<Pending>& batch) {
   // out at DLS_OBS_LEVEL=0 and must not leave a warning behind.
   [[maybe_unused]] const auto now = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].multi) {
+      count_multi_response(multi_responses[i]);
+      send_multi_response(batch[i].session, multi_responses[i]);
+      batch[i].session->pending.fetch_sub(1, std::memory_order_release);
+      continue;
+    }
     count_response(responses[i]);
     if (responses[i].status == ScheduleStatus::kOk) {
       DLS_OBSERVE("serve.request.latency_us",
@@ -390,6 +473,13 @@ void SchedulerService::classify_window(const std::vector<Pending>& batch,
   }
   const auto now = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].multi) {
+      // Multi-load requests always take the per-request path: the
+      // answer depends on the whole load mix, so there is nothing to
+      // look up or coalesce with batchmates.
+      singles.push_back(SingleTask{i, /*looked_up=*/false, nullptr});
+      continue;
+    }
     const ScheduleRequest& request = batch[i].request;
     ScheduleResponse& response = responses[i];
     response.request_id = request.request_id;
@@ -629,6 +719,67 @@ ScheduleResponse SchedulerService::handle(const Pending& pending,
   return response;
 }
 
+MultiScheduleResponse SchedulerService::handle_multi(const Pending& pending) {
+  DLS_SPAN("serve.multi.handle");
+  const MultiScheduleRequest& request = *pending.multi;
+  MultiScheduleResponse response;
+  response.request_id = request.request_id;
+
+  double deadline_us = request.deadline_us;
+  if (deadline_us <= 0.0) deadline_us = config_.default_deadline_us;
+  if (deadline_us > 0.0 &&
+      elapsed_us(pending.admitted_at, std::chrono::steady_clock::now()) >
+          deadline_us) {
+    // Expired before dispatch: answered without scheduling a single
+    // installment, exactly like the single-load deadline rule.
+    response.status = ScheduleStatus::kExpired;
+    return response;
+  }
+
+  try {
+    const net::LinearNetwork network(request.w, request.z);
+    std::vector<multiload::LoadSpec> specs;
+    specs.reserve(request.loads.size());
+    for (const MultiLoadItem& item : request.loads) {
+      specs.push_back(multiload::LoadSpec{item.load_id, item.size,
+                                          item.release, item.deadline});
+    }
+    multiload::MultiLoadConfig config;
+    config.policy = static_cast<multiload::DispatchPolicy>(request.policy);
+    config.installments_per_load = request.installments;
+    config.ingress_z = request.ingress_z;
+    multiload::MultiLoadSolver solver(network);
+    const multiload::MultiLoadSchedule schedule = solver.solve(specs, config);
+    response.loads.reserve(schedule.loads.size());
+    for (const multiload::LoadOutcome& outcome : schedule.loads) {
+      MultiLoadResult result;
+      result.load_id = outcome.spec.id;
+      result.start = outcome.start;
+      result.completion = outcome.completion;
+      result.deadline_met = outcome.deadline_met;
+      response.loads.push_back(result);
+    }
+    response.makespan = schedule.makespan;
+    response.serialized_makespan = schedule.serialized_makespan;
+    if (request.want_payments) {
+      const multiload::MultiLoadAssessment assessment =
+          multiload::assess_loads(network, network.processing_times(), specs,
+                                  config_.mechanism);
+      for (std::size_t i = 0; i < assessment.loads.size(); ++i) {
+        response.loads[i].total_payment = assessment.loads[i].total_payment;
+      }
+      response.total_payment = assessment.total_payment;
+    }
+    response.status = ScheduleStatus::kOk;
+  } catch (const dls::Error& e) {
+    response = MultiScheduleResponse{};
+    response.request_id = request.request_id;
+    response.status = ScheduleStatus::kError;
+    response.error = e.what();
+  }
+  return response;
+}
+
 void SchedulerService::send_response(Session* session,
                                      const ScheduleResponse& response) {
   try {
@@ -637,6 +788,60 @@ void SchedulerService::send_response(Session* session,
                       encode_schedule_response(response)});
   } catch (const TransportError&) {
     // The client hung up before its answer arrived; nothing to do.
+  }
+}
+
+void SchedulerService::send_multi_response(
+    Session* session, const MultiScheduleResponse& response) {
+  try {
+    write_frame(*session->end,
+                Frame{FrameType::kMultiScheduleResponse,
+                      encode_multi_schedule_response(response)});
+  } catch (const TransportError&) {
+    // The client hung up before its answer arrived; nothing to do.
+  }
+}
+
+void SchedulerService::count_multi_response(
+    const MultiScheduleResponse& response) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    switch (response.status) {
+      case ScheduleStatus::kOk:
+        ++stats_.ok;
+        stats_.multi_loads += response.loads.size();
+        break;
+      case ScheduleStatus::kShed:
+        ++stats_.shed;
+        break;
+      case ScheduleStatus::kExpired:
+        ++stats_.expired;
+        break;
+      case ScheduleStatus::kError:
+        ++stats_.errors;
+        break;
+      case ScheduleStatus::kDegraded:
+        ++stats_.degraded;
+        break;
+    }
+  }
+  switch (response.status) {
+    case ScheduleStatus::kOk:
+      DLS_COUNT("serve.multi.responses.ok");
+      DLS_COUNT("serve.multi.loads", response.loads.size());
+      break;
+    case ScheduleStatus::kShed:
+      DLS_COUNT("serve.multi.responses.shed");
+      break;
+    case ScheduleStatus::kExpired:
+      DLS_COUNT("serve.multi.responses.expired");
+      break;
+    case ScheduleStatus::kError:
+      DLS_COUNT("serve.multi.responses.error");
+      break;
+    case ScheduleStatus::kDegraded:
+      DLS_COUNT("serve.multi.responses.degraded");
+      break;
   }
 }
 

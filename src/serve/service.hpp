@@ -1,6 +1,5 @@
 // The scheduling service: concurrent DLS-LBL sessions behind a framed
-// transport, with admission control, per-request deadlines and a solve
-// cache.
+// transport, with admission control, per-request deadlines, solve cache.
 //
 // Shape (mirroring a BOINC-style scheduler front-end):
 //
@@ -11,22 +10,23 @@
 //                    responses written back on the request's connection
 //
 //  * connect() hands out one end of a fresh Pipe; adopt() runs the same
-//    session machinery over any Transport (an accepted SocketTransport,
-//    a ChaosTransport, ...). Either way a per-connection reader thread
-//    decodes ScheduleRequest frames and performs admission
-//    *synchronously*: when the shared bounded queue is full the request
-//    is answered kShed immediately — backpressure is an explicit
-//    response, never a silent stall.
+//    session machinery over any Transport (SocketTransport,
+//    ChaosTransport, ...). A per-connection reader thread decodes
+//    frames and admits *synchronously*: a full queue answers kShed
+//    immediately — backpressure is explicit, never a silent stall.
 //  * A dispatcher thread drains the queue in batches of at most
 //    `max_batch` and solves them concurrently on the exec::ThreadPool.
-//  * Before solving, each request's deadline (admission-relative, µs)
-//    is checked; an expired request is answered kExpired without
-//    touching the solver.
+//  * Each request's deadline (admission-relative, µs) is checked before
+//    solving; an expired request is answered kExpired solver-untouched.
 //  * Same-length cache misses of one dispatch window coalesce into one
 //    SoA batch solve (dlt::BatchLinearSolver); responses stay
 //    bit-identical to per-request solves.
 //  * Solutions are memoised in a SolveCache keyed by canonical (w, z)
 //    bytes. Metrics (serve.*): see docs/OBSERVABILITY.md.
+//  * Multi-load requests (kMultiScheduleRequest) share the same queue
+//    and shed/degraded/expired/stop semantics but solve via
+//    multiload::MultiLoadSolver per request (the answer depends on the
+//    whole mix — nothing to cache); single-load bytes are unchanged.
 #pragma once
 
 #include <atomic>
@@ -36,12 +36,14 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "core/dls_lbl.hpp"
 #include "exec/thread_pool.hpp"
 #include "serve/cache.hpp"
+#include "serve/multiload_wire.hpp"
 #include "serve/pipe.hpp"
 #include "serve/service_wire.hpp"
 
@@ -101,6 +103,10 @@ struct ServiceStats {
   std::uint64_t batch_deduped = 0;  ///< duplicate topologies answered
                                     ///< from a batchmate's lane
   std::uint64_t inline_hits = 0;    ///< try_serve_inline cache answers
+  /// Well-formed multi-load requests read off the wire (also counted
+  /// in `received`; responses land in the shared status counters).
+  std::uint64_t multi_received = 0;
+  std::uint64_t multi_loads = 0;  ///< loads inside kOk multi responses
 };
 
 class SchedulerService {
@@ -157,6 +163,8 @@ class SchedulerService {
   };
   struct Pending {
     ScheduleRequest request;
+    /// Engaged for multi-load traffic; `request` is then unused.
+    std::optional<MultiScheduleRequest> multi;
     std::chrono::steady_clock::time_point admitted_at;
     Session* session = nullptr;
   };
@@ -165,11 +173,19 @@ class SchedulerService {
   /// Closes a connection that exhausted its poison budget (or sent a
   /// stream the resync scan could not rescue).
   void quarantine(Session* session);
-  void admit(ScheduleRequest request, Session* session);
+  /// Shared admission for single- and multi-load traffic: one bounded
+  /// queue, FIFO across both kinds, kShed in the request's own response
+  /// type when full. Stamps admitted_at at the moment of queueing.
+  void admit(Pending pending);
   /// Brown-out path: answers `request` inline (cache hit or kDegraded)
   /// when the queue is above the watermark. Returns false when the
   /// request should proceed to normal admission.
   bool try_brownout(const ScheduleRequest& request, Session* session);
+  /// Multi-load brown-out: schedules are never cached (the answer
+  /// depends on the full load mix), so above the watermark every
+  /// multi-load request gets the typed kDegraded refusal.
+  bool try_brownout_multi(const MultiScheduleRequest& request,
+                          Session* session);
   void dispatch_loop();
   void process_batch(std::vector<Pending>& batch);
 
@@ -221,8 +237,15 @@ class SchedulerService {
   /// was made (so every request is looked up exactly once).
   ScheduleResponse handle(const Pending& pending,
                           const SingleTask* prefetched = nullptr);
+  /// Solves (or refuses) one admitted multi-load request via
+  /// multiload::MultiLoadSolver; expired requests are answered without
+  /// scheduling a single installment.
+  MultiScheduleResponse handle_multi(const Pending& pending);
   void send_response(Session* session, const ScheduleResponse& response);
+  void send_multi_response(Session* session,
+                           const MultiScheduleResponse& response);
   void count_response(const ScheduleResponse& response);
+  void count_multi_response(const MultiScheduleResponse& response);
 
   ServiceConfig config_;
   exec::ThreadPool* pool_;

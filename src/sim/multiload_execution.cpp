@@ -1,0 +1,67 @@
+#include "sim/multiload_execution.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace dls::sim {
+
+MultiLoadTrace trace_multiload(const net::LinearNetwork& network,
+                               const multiload::MultiLoadSchedule& schedule) {
+  const std::size_t n = network.size();
+  DLS_REQUIRE(schedule.chain.alpha.size() == n,
+              "schedule chain does not match the network");
+
+  // The same unit offsets the solver (and its checker) use: A_j is the
+  // arrival offset of P_j per unit of chunk size.
+  std::vector<double> unit_arrival(n, 0.0);
+  for (std::size_t i = 1; i < n; ++i) {
+    unit_arrival[i] =
+        unit_arrival[i - 1] + schedule.chain.received[i] * network.z(i);
+  }
+
+  MultiLoadTrace out;
+  out.lanes.resize(schedule.loads.size());
+  const auto record = [&out](std::size_t lane, Interval interval) {
+    if (interval.end <= interval.start) return;  // zero-width: nothing drawn
+    out.lanes[lane].record(interval);
+    out.combined.record(interval);
+  };
+
+  for (const multiload::Installment& inst : schedule.installments) {
+    const double s = inst.size;
+    // Ingress staging occupies the root's inbound port.
+    record(inst.load, Interval{0, Activity::kReceive, inst.stage_start,
+                               inst.stage_done, s});
+    // Link l_j carries the chunk's onward share over its busy window.
+    for (std::size_t j = 1; j < n; ++j) {
+      const Time begin = inst.comm_start + s * unit_arrival[j - 1];
+      const Time end = inst.comm_start + s * unit_arrival[j];
+      const double amount = s * schedule.chain.received[j];
+      record(inst.load, Interval{j - 1, Activity::kSend, begin, end, amount});
+      record(inst.load, Interval{j, Activity::kReceive, begin, end, amount});
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      record(inst.load,
+             Interval{i, Activity::kCompute, inst.compute_start[i],
+                      inst.finish[i], s * schedule.chain.alpha[i]});
+    }
+  }
+  return out;
+}
+
+void render_multiload_gantt(std::ostream& os,
+                            const net::LinearNetwork& network,
+                            const multiload::MultiLoadSchedule& schedule,
+                            const GanttOptions& options) {
+  const MultiLoadTrace traced = trace_multiload(network, schedule);
+  for (std::size_t k = 0; k < schedule.loads.size(); ++k) {
+    const multiload::LoadOutcome& outcome = schedule.loads[k];
+    GanttOptions lane = options;
+    lane.title = "load " + std::to_string(outcome.spec.id) + " (size " +
+                 std::to_string(outcome.spec.size) + ")";
+    render_gantt(os, traced.lanes[k], lane);
+  }
+}
+
+}  // namespace dls::sim

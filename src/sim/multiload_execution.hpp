@@ -1,0 +1,43 @@
+// Multi-load chain execution traces: one Gantt lane per load.
+//
+// A MultiLoadSchedule already carries the full installment timeline
+// (staging, per-link transfer windows, per-processor compute windows);
+// this module unfolds it into sim::Trace intervals so the Figure-2
+// Gantt machinery renders concurrent loads the way it renders a single
+// one. Each load gets its own lane (a Trace of only its intervals) and
+// all lanes merge into a combined trace whose one-port discipline tests
+// verify with Trace::check_one_port — the same oracle the event-driven
+// single-load execution answers to.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "multiload/types.hpp"
+#include "net/networks.hpp"
+#include "sim/gantt.hpp"
+#include "sim/trace.hpp"
+
+namespace dls::sim {
+
+struct MultiLoadTrace {
+  /// lanes[k] holds only load k's intervals (index-aligned with
+  /// schedule.loads); `combined` merges every lane.
+  std::vector<Trace> lanes;
+  Trace combined;
+};
+
+/// Unfolds the solved timeline into traces. Ingress staging appears as
+/// a kReceive on the root; link l_j's transfer window as a kSend on
+/// P_{j-1} paired with a kReceive on P_j; compute windows as kCompute.
+MultiLoadTrace trace_multiload(const net::LinearNetwork& network,
+                               const multiload::MultiLoadSchedule& schedule);
+
+/// Renders one Gantt chart per load lane (titled with the load id and
+/// size), in schedule order.
+void render_multiload_gantt(std::ostream& os,
+                            const net::LinearNetwork& network,
+                            const multiload::MultiLoadSchedule& schedule,
+                            const GanttOptions& options = {});
+
+}  // namespace dls::sim

@@ -1,9 +1,13 @@
 // Tests for the sweep helpers and experiment drivers.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "common/error.hpp"
 #include "analysis/experiments.hpp"
 #include "analysis/learning.hpp"
+#include "analysis/multiload_grid.hpp"
 #include "analysis/sweep.hpp"
 #include "common/rng.hpp"
 #include "net/networks.hpp"
@@ -121,6 +125,84 @@ TEST(Experiments, BaselineComparisonOrdersCorrectly) {
     EXPECT_LE(cmp.optimal, cmp.speed_proportional + 1e-12);
     EXPECT_LE(cmp.optimal, cmp.root_only + 1e-12);
   }
+}
+
+MultiLoadGridConfig small_grid() {
+  MultiLoadGridConfig config;
+  config.chain_lengths = {3, 5};
+  config.load_counts = {2, 4};
+  config.mean_interarrivals = {0.0, 1.0};
+  config.trials = 3;
+  return config;
+}
+
+TEST(MultiLoadGrid, CoversEveryCellInAxisOrder) {
+  const MultiLoadGridConfig config = small_grid();
+  const auto cells = run_multiload_grid(config);
+  ASSERT_EQ(cells.size(), 2u * 2u * 2u * config.policies.size());
+  std::size_t i = 0;
+  for (const std::size_t m : config.chain_lengths) {
+    for (const std::size_t loads : config.load_counts) {
+      for (const double arrival : config.mean_interarrivals) {
+        for (const auto policy : config.policies) {
+          EXPECT_EQ(cells[i].scenario.processors, m);
+          EXPECT_EQ(cells[i].scenario.load_count, loads);
+          EXPECT_EQ(cells[i].scenario.mean_interarrival, arrival);
+          EXPECT_EQ(cells[i].scenario.policy, policy);
+          EXPECT_EQ(cells[i].trials, config.trials);
+          ++i;
+        }
+      }
+    }
+  }
+}
+
+TEST(MultiLoadGrid, DeterministicAcrossRuns) {
+  const MultiLoadGridConfig config = small_grid();
+  const auto first = run_multiload_grid(config);
+  const auto second = run_multiload_grid(config);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].mean_speedup, second[i].mean_speedup);
+    EXPECT_EQ(first[i].min_speedup, second[i].min_speedup);
+    EXPECT_EQ(first[i].max_speedup, second[i].max_speedup);
+    EXPECT_EQ(first[i].mean_makespan, second[i].mean_makespan);
+    EXPECT_EQ(first[i].mean_throughput, second[i].mean_throughput);
+  }
+}
+
+TEST(MultiLoadGrid, FifoNeverLosesToSerializedRounds) {
+  // The checker's pipelining guarantee, observed end to end: FIFO
+  // dispatch beats or ties strict rounds on every cell of the grid.
+  for (const auto& cell : run_multiload_grid(small_grid())) {
+    if (cell.scenario.policy != dls::multiload::DispatchPolicy::kFifo) {
+      continue;
+    }
+    EXPECT_GE(cell.min_speedup, 1.0 - 1e-9)
+        << "m=" << cell.scenario.processors
+        << " loads=" << cell.scenario.load_count
+        << " arrival=" << cell.scenario.mean_interarrival;
+    EXPECT_GE(cell.max_speedup, cell.mean_speedup);
+    EXPECT_GE(cell.mean_speedup, cell.min_speedup);
+    EXPECT_GT(cell.mean_throughput, 0.0);
+  }
+}
+
+TEST(MultiLoadGrid, PrintsOneRowPerCell) {
+  const auto cells = run_multiload_grid(small_grid());
+  std::ostringstream os;
+  print_multiload_grid(os, cells);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("speedup"), std::string::npos);
+  std::size_t rows = 0;
+  for (const char c : out) rows += c == '\n';
+  EXPECT_EQ(rows, cells.size() + 1);  // header + one line per cell
+}
+
+TEST(MultiLoadGrid, RejectsZeroTrials) {
+  MultiLoadGridConfig config = small_grid();
+  config.trials = 0;
+  EXPECT_THROW(run_multiload_grid(config), dls::PreconditionError);
 }
 
 }  // namespace

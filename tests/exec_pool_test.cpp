@@ -1,14 +1,14 @@
 // Tests for the persistent work-stealing pool (exec/thread_pool.hpp):
 // coverage, determinism at any worker count, grain control, exception
-// propagation with cancellation, nesting, and the analysis shim.
+// propagation with cancellation, and nesting.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "analysis/experiments.hpp"
-#include "analysis/parallel.hpp"
 #include "analysis/sweep.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -72,7 +72,7 @@ TEST(ThreadPool, SolverSweepBitIdenticalAcrossWorkerCounts) {
   const dls::core::MechanismConfig config;
   const auto run = [&](std::size_t workers) {
     std::vector<double> gap(kInstances);
-    dls::analysis::parallel_for(
+    ThreadPool::global().parallel_for(
         kInstances,
         [&](std::size_t rep) {
           dls::common::Rng rng(531 + 7919 * rep);
@@ -87,7 +87,7 @@ TEST(ThreadPool, SolverSweepBitIdenticalAcrossWorkerCounts) {
               dls::analysis::utility_vs_bid(net, i, grid, config);
           gap[rep] = dls::analysis::max_truth_advantage_gap(curve);
         },
-        workers);
+        {.max_workers = workers});
     return gap;
   };
   const auto serial = run(1);
@@ -179,26 +179,25 @@ TEST(ThreadPool, GlobalPoolIsShared) {
   EXPECT_GE(a.worker_count(), 1u);
 }
 
-TEST(AnalysisShim, ForwardsToPoolWithWorkerCap) {
-  // The legacy analysis::parallel_for surface must keep its semantics:
-  // workers = 0 uses the pool, workers = 1 is serial, and results are
-  // identical either way.
+TEST(ThreadPool, WorkerCapMatchesSerialAndRejectsNullBody) {
+  // max_workers = 1 is serial, 0 uses the whole pool, and results are
+  // identical either way; a null body is a precondition violation.
   constexpr std::size_t kCount = 256;
   std::vector<double> serial(kCount), pooled(kCount);
-  dls::analysis::parallel_for(
+  ThreadPool::global().parallel_for(
       kCount,
       [&](std::size_t i) {
         dls::common::Rng rng(7 * i + 1);
         serial[i] = rng.uniform01();
       },
-      1);
-  dls::analysis::parallel_for(kCount, [&](std::size_t i) {
+      {.max_workers = 1});
+  ThreadPool::global().parallel_for(kCount, [&](std::size_t i) {
     dls::common::Rng rng(7 * i + 1);
     pooled[i] = rng.uniform01();
   });
   EXPECT_EQ(serial, pooled);
   EXPECT_THROW(
-      dls::analysis::parallel_for(
+      ThreadPool::global().parallel_for(
           4, std::function<void(std::size_t)>{}),
       dls::PreconditionError);
 }

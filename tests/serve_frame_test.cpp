@@ -21,6 +21,7 @@ using dls::codec::DecodeError;
 using dls::serve::Frame;
 using dls::serve::FrameTruncationError;
 using dls::serve::FrameType;
+using dls::serve::FrameVersionError;
 using dls::serve::kFrameHeaderSize;
 using dls::serve::make_pipe;
 using dls::serve::Pipe;
@@ -228,6 +229,39 @@ TEST(FrameTest, BadMagicVersionTypeAndLengthAreRejected) {
   Bytes bad_length = good;
   bad_length[9] = 0xFF;  // announces a payload far beyond the cap
   EXPECT_THROW(dls::serve::decode_frame(bad_length), DecodeError);
+}
+
+TEST(FrameTest, VersionMismatchCarriesThePeersVersion) {
+  const Bytes good = dls::serve::encode_frame(
+      Frame{FrameType::kScheduleRequest, bytes_of({1, 2})});
+  // v1/v2 peers during a rollout, plus a from-the-future version: the
+  // typed error must report exactly what the peer announced.
+  for (const std::uint8_t version : {0x00, 0x01, 0x02, 0x7F}) {
+    Bytes bad_version = good;
+    bad_version[4] = version;
+    try {
+      dls::serve::decode_frame(bad_version);
+      FAIL() << "version " << int(version) << " accepted";
+    } catch (const FrameVersionError& e) {
+      EXPECT_EQ(e.received(), version);
+      EXPECT_EQ(e.supported(), dls::serve::kFrameVersion);
+    }
+  }
+}
+
+TEST(FrameTest, VersionMismatchIsTypedAcrossAPipeToo) {
+  Pipe pipe = make_pipe();
+  Bytes wire = dls::serve::encode_frame(
+      Frame{FrameType::kScheduleRequest, bytes_of({1})});
+  wire[4] = 0x02;  // a v2 peer
+  pipe.a.write(wire);
+  try {
+    dls::serve::read_frame(pipe.b);
+    FAIL() << "v2 frame accepted";
+  } catch (const FrameVersionError& e) {
+    EXPECT_EQ(e.received(), 0x02);
+    EXPECT_EQ(e.supported(), dls::serve::kFrameVersion);
+  }
 }
 
 TEST(FrameTest, RoundTripsAcrossPipe) {

@@ -1,20 +1,20 @@
 // Tests for the result-return simulation (assumption (iii) probe) and
-// the threaded sweep driver.
+// sweep-style fan-out on the process-wide pool.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <numeric>
 
-#include "analysis/parallel.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "dlt/linear.hpp"
+#include "exec/thread_pool.hpp"
 #include "net/networks.hpp"
 #include "sim/linear_returns.hpp"
 
 namespace {
 
-using dls::analysis::parallel_for;
+using dls::exec::ThreadPool;
 using dls::common::Rng;
 using dls::dlt::solve_linear_boundary;
 using dls::net::LinearNetwork;
@@ -89,7 +89,8 @@ TEST(LinearReturns, RejectsNegativeDelta) {
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   constexpr std::size_t kCount = 1000;
   std::vector<std::atomic<int>> hits(kCount);
-  parallel_for(kCount, [&](std::size_t i) { ++hits[i]; });
+  ThreadPool::global().parallel_for(kCount,
+                                    [&](std::size_t i) { ++hits[i]; });
   for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
 }
 
@@ -97,13 +98,13 @@ TEST(ParallelFor, DeterministicResultsAtAnyWorkerCount) {
   constexpr std::size_t kCount = 64;
   auto run = [&](std::size_t workers) {
     std::vector<double> out(kCount);
-    parallel_for(
+    ThreadPool::global().parallel_for(
         kCount,
         [&](std::size_t i) {
           Rng rng(1000 + i);  // per-index stream
           out[i] = rng.uniform01();
         },
-        workers);
+        {.max_workers = workers});
     return out;
   };
   const auto serial = run(1);
@@ -112,21 +113,22 @@ TEST(ParallelFor, DeterministicResultsAtAnyWorkerCount) {
 }
 
 TEST(ParallelFor, PropagatesExceptions) {
-  EXPECT_THROW(parallel_for(100,
-                            [](std::size_t i) {
-                              if (i == 37) {
-                                throw dls::Error("boom");
-                              }
-                            }),
+  EXPECT_THROW(ThreadPool::global().parallel_for(100,
+                                                 [](std::size_t i) {
+                                                   if (i == 37) {
+                                                     throw dls::Error("boom");
+                                                   }
+                                                 }),
                dls::Error);
 }
 
 TEST(ParallelFor, HandlesEmptyAndTinyRanges) {
   int calls = 0;
-  parallel_for(0, [&](std::size_t) { ++calls; });
+  ThreadPool::global().parallel_for(0, [&](std::size_t) { ++calls; });
   EXPECT_EQ(calls, 0);
   std::atomic<int> atomic_calls{0};
-  parallel_for(1, [&](std::size_t) { ++atomic_calls; }, 16);
+  ThreadPool::global().parallel_for(1, [&](std::size_t) { ++atomic_calls; },
+                                    {.max_workers = 16});
   EXPECT_EQ(atomic_calls.load(), 1);
 }
 
