@@ -1,6 +1,7 @@
 #include "multiload/solver.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <string>
 #include <utility>
@@ -79,15 +80,20 @@ MultiLoadSchedule MultiLoadSolver::solve(const std::vector<LoadSpec>& loads,
   DLS_REQUIRE(!loads.empty(), "multi-load solve needs at least one load");
   DLS_REQUIRE(config.installments_per_load >= 1,
               "installments_per_load must be >= 1");
-  DLS_REQUIRE(config.ingress_z >= 0.0, "ingress_z must be non-negative");
+  DLS_REQUIRE(std::isfinite(config.ingress_z) && config.ingress_z >= 0.0,
+              "ingress_z must be finite and non-negative");
   for (const LoadSpec& load : loads) {
-    if (!(load.size > 0.0)) {
+    // NaN fails every ordered comparison, so each predicate is written
+    // to *accept* good values; anything else — including NaN and ±inf,
+    // which arrive unchecked from embedding callers — is rejected.
+    if (!(std::isfinite(load.size) && load.size > 0.0)) {
       throw InfeasibleError("multi-load: load " + std::to_string(load.id) +
-                            " has non-positive size");
+                            " has a non-positive or non-finite size");
     }
-    if (load.release < 0.0 || load.deadline < 0.0) {
+    if (!(std::isfinite(load.release) && load.release >= 0.0) ||
+        !(std::isfinite(load.deadline) && load.deadline >= 0.0)) {
       throw InfeasibleError("multi-load: load " + std::to_string(load.id) +
-                            " has a negative release or deadline");
+                            " has a negative or non-finite release/deadline");
     }
   }
 

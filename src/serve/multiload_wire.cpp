@@ -1,5 +1,7 @@
 #include "serve/multiload_wire.hpp"
 
+#include <cmath>
+
 namespace dls::serve {
 
 namespace {
@@ -12,6 +14,11 @@ constexpr std::string_view kMultiResponseMagic = "dls.serve.mresp.v1";
 /// bare doubles, so their cap is tighter than the vector cap.
 constexpr std::uint64_t kMaxVectorLength = std::uint64_t{1} << 20;
 constexpr std::uint64_t kMaxLoadCount = std::uint64_t{1} << 16;
+/// The solver materialises loads × installments Installment objects,
+/// each carrying per-processor vectors, so both the per-load count and
+/// the product need caps a hostile frame cannot exceed.
+constexpr std::uint64_t kMaxInstallments = std::uint64_t{1} << 12;
+constexpr std::uint64_t kMaxTotalInstallments = std::uint64_t{1} << 20;
 
 void expect_magic(codec::Reader& r, std::string_view magic) {
   const std::string found = r.string();
@@ -35,6 +42,15 @@ std::vector<double> take_f64_vector(codec::Reader& r) {
   std::vector<double> values(static_cast<std::size_t>(count));
   r.f64_array(values);
   return values;
+}
+
+double take_finite_f64(codec::Reader& r, std::string_view field) {
+  const double value = r.f64();
+  if (!std::isfinite(value)) {
+    throw codec::DecodeError("non-finite " + std::string(field) +
+                             " on the wire");
+  }
+  return value;
 }
 
 bool take_bool(codec::Reader& r) {
@@ -84,8 +100,16 @@ MultiScheduleRequest decode_multi_schedule_request(
   if (request.installments == 0) {
     throw codec::DecodeError("multi-load request asks for zero installments");
   }
-  request.ingress_z = r.f64();
-  request.deadline_us = r.f64();
+  if (request.installments > kMaxInstallments) {
+    throw codec::DecodeError("installment count " +
+                             std::to_string(request.installments) +
+                             " exceeds the wire cap");
+  }
+  request.ingress_z = take_finite_f64(r, "ingress_z");
+  if (request.ingress_z < 0.0) {
+    throw codec::DecodeError("negative ingress_z on the wire");
+  }
+  request.deadline_us = take_finite_f64(r, "deadline_us");
   request.want_payments = take_bool(r);
   request.w = take_f64_vector(r);
   request.z = take_f64_vector(r);
@@ -94,12 +118,17 @@ MultiScheduleRequest decode_multi_schedule_request(
     throw codec::DecodeError("load count " + std::to_string(count) +
                              " exceeds the wire cap");
   }
+  if (count * request.installments > kMaxTotalInstallments) {
+    throw codec::DecodeError(
+        "total installment budget exceeded: " + std::to_string(count) +
+        " loads x " + std::to_string(request.installments) + " installments");
+  }
   request.loads.resize(static_cast<std::size_t>(count));
   for (MultiLoadItem& load : request.loads) {
     load.load_id = r.u64();
-    load.size = r.f64();
-    load.release = r.f64();
-    load.deadline = r.f64();
+    load.size = take_finite_f64(r, "load size");
+    load.release = take_finite_f64(r, "load release");
+    load.deadline = take_finite_f64(r, "load deadline");
   }
   r.expect_done();
   if (request.w.empty()) {

@@ -379,7 +379,16 @@ void SchedulerService::dispatch_loop() {
         queue_.pop_front();
       }
     }
-    process_batch(batch);
+    try {
+      process_batch(batch);
+    } catch (const std::exception&) {
+      // Last-ditch backstop: process_batch guards its solve phase and
+      // the response writes swallow transport errors, so this is
+      // effectively unreachable — but an exception escaping here would
+      // std::terminate the whole service from the dispatcher thread,
+      // so the loop must never rethrow.
+      DLS_COUNT("serve.dispatch.batch_dropped");
+    }
   }
   // Drain on stop: everything still queued is answered, not dropped.
   std::deque<Pending> rest;
@@ -421,18 +430,48 @@ void SchedulerService::process_batch(std::vector<Pending>& batch) {
     dispatch_scratch_.push_back(std::make_unique<DispatchScratch>());
   }
   const std::size_t group_count = groups.size();
-  pool_->parallel_for(group_count + singles.size(), [&](std::size_t t) {
-    if (t < group_count) {
-      solve_group(groups[t], *dispatch_scratch_[t], batch, responses);
-    } else {
-      const SingleTask& task = singles[t - group_count];
-      if (batch[task.index].multi) {
-        multi_responses[task.index] = handle_multi(batch[task.index]);
+  try {
+    pool_->parallel_for(group_count + singles.size(), [&](std::size_t t) {
+      if (t < group_count) {
+        solve_group(groups[t], *dispatch_scratch_[t], batch, responses);
       } else {
-        responses[task.index] = handle(batch[task.index], &task);
+        const SingleTask& task = singles[t - group_count];
+        if (batch[task.index].multi) {
+          multi_responses[task.index] = handle_multi(batch[task.index]);
+        } else {
+          responses[task.index] = handle(batch[task.index], &task);
+        }
       }
+    });
+  } catch (const std::exception& e) {
+    // handle()/handle_multi()/solve_group() absorb per-request failures
+    // themselves, so only a failure outside them (response assignment,
+    // pool plumbing) lands here. The pool reports the first exception
+    // and the rest of the tasks still ran, but which entry it came from
+    // is unknown — refuse every entry that was being computed in
+    // parallel (classify_window results stand) and keep the dispatcher.
+    DLS_COUNT("serve.dispatch.batch_failed");
+    const auto refuse = [&](std::size_t i) {
+      if (batch[i].multi) {
+        MultiScheduleResponse& r = multi_responses[i];
+        r = MultiScheduleResponse{};
+        r.request_id = batch[i].multi->request_id;
+        r.status = ScheduleStatus::kError;
+        r.error = e.what();
+      } else {
+        ScheduleResponse& r = responses[i];
+        r = ScheduleResponse{};
+        r.request_id = batch[i].request.request_id;
+        r.status = ScheduleStatus::kError;
+        r.error = e.what();
+      }
+    };
+    for (const SingleTask& task : singles) refuse(task.index);
+    for (const MissGroup& group : groups) {
+      for (const std::size_t i : group.members) refuse(i);
+      for (const auto& [i, lane] : group.aliases) refuse(i);
     }
-  });
+  }
   // Responses are written serially, in admission order, after the
   // parallel solve — frame writes are atomic either way, but serial
   // writes keep per-connection response order deterministic.
@@ -608,9 +647,9 @@ void SchedulerService::solve_group(const MissGroup& group,
 
   try {
     solve_group_lanes(group, scratch, batch);
-  } catch (const dls::Error& e) {
-    // A contract violation mid-batch poisons every lane equally; each
-    // member gets a typed error, aliases included.
+  } catch (const std::exception& e) {
+    // A contract violation (or allocation failure) mid-batch poisons
+    // every lane equally; each member gets an error, aliases included.
     const auto fail = [&](std::size_t i) {
       ScheduleResponse& r = responses[i];
       r = ScheduleResponse{};
@@ -649,7 +688,7 @@ void SchedulerService::solve_group(const MissGroup& group,
           response.payments.push_back(a.money.payment);
         }
         response.total_payment = assessment.total_payment;
-      } catch (const dls::Error& e) {
+      } catch (const std::exception& e) {
         response = ScheduleResponse{};
         response.request_id = request.request_id;
         response.status = ScheduleStatus::kError;
@@ -715,6 +754,13 @@ ScheduleResponse SchedulerService::handle(const Pending& pending,
     response.request_id = request.request_id;
     response.status = ScheduleStatus::kError;
     response.error = e.what();
+  } catch (const std::exception& e) {
+    // Untyped failure (e.g. bad_alloc): refuse rather than unwind into
+    // the dispatcher thread and kill the service.
+    response = ScheduleResponse{};
+    response.request_id = request.request_id;
+    response.status = ScheduleStatus::kError;
+    response.error = e.what();
   }
   return response;
 }
@@ -772,6 +818,14 @@ MultiScheduleResponse SchedulerService::handle_multi(const Pending& pending) {
     }
     response.status = ScheduleStatus::kOk;
   } catch (const dls::Error& e) {
+    response = MultiScheduleResponse{};
+    response.request_id = request.request_id;
+    response.status = ScheduleStatus::kError;
+    response.error = e.what();
+  } catch (const std::exception& e) {
+    // Untyped failure (bad_alloc, length_error from a hostile request
+    // size): same refusal. Letting it escape would unwind through the
+    // thread pool into the dispatcher thread and terminate the process.
     response = MultiScheduleResponse{};
     response.request_id = request.request_id;
     response.status = ScheduleStatus::kError;

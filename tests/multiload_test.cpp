@@ -5,12 +5,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "check/contracts.hpp"
 #include "check/multiload_invariants.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/dls_lbl.hpp"
 #include "multiload/payments.hpp"
@@ -150,6 +152,32 @@ TEST(MultiLoadSolver, IngressStagingBeatsSerializedRounds) {
   EXPECT_GT(schedule.makespan,
             loads[0].size * config.ingress_z + 3.0 * solver.chain().makespan -
                 1e-9);
+}
+
+TEST(MultiLoadSolver, NonFiniteInputsAreRejected) {
+  // NaN satisfies no ordered comparison, so naive `< 0` validation lets
+  // NaN (and +inf sizes) through and every downstream timestamp turns
+  // to garbage; the solver must reject them unconditionally, even at
+  // DLS_CHECK_LEVEL=0 where the schedule audit is compiled out.
+  const LinearNetwork network = test_chain();
+  MultiLoadSolver solver(network);
+  const MultiLoadConfig config;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(solver.solve({LoadSpec{1, inf, 0.0, 0.0}}, config),
+               dls::InfeasibleError);
+  EXPECT_THROW(solver.solve({LoadSpec{1, nan, 0.0, 0.0}}, config),
+               dls::InfeasibleError);
+  EXPECT_THROW(solver.solve({LoadSpec{1, 1.0, nan, 0.0}}, config),
+               dls::InfeasibleError);
+  EXPECT_THROW(solver.solve({LoadSpec{1, 1.0, 0.0, nan}}, config),
+               dls::InfeasibleError);
+  EXPECT_THROW(solver.solve({LoadSpec{1, 1.0, inf, 0.0}}, config),
+               dls::InfeasibleError);
+  MultiLoadConfig bad_ingress;
+  bad_ingress.ingress_z = nan;
+  EXPECT_THROW(solver.solve({LoadSpec{1, 1.0, 0.0, 0.0}}, bad_ingress),
+               dls::Error);
 }
 
 TEST(MultiLoadSolver, ReleasesAndDeadlinesHonored) {

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -283,6 +284,85 @@ TEST(MultiLoadWire, OversizedCountsAreRejectedBeforeAllocation) {
   w.varint(std::uint64_t{1} << 40);  // absurd load count
   EXPECT_THROW(dls::serve::decode_multi_schedule_request(w.take()),
                DecodeError);
+}
+
+TEST(MultiLoadWire, OversizedInstallmentCountIsRejected) {
+  // encode does not validate, so a hostile peer's u32 goes straight to
+  // the decoder — which must cap it like the load/vector counts instead
+  // of letting the solver materialise loads x 2^32 installment objects.
+  Rng rng(29);
+  MultiScheduleRequest hostile = random_request(rng);
+  hostile.installments = 0xFFFFFFFFu;
+  EXPECT_THROW(dls::serve::decode_multi_schedule_request(
+                   dls::serve::encode_multi_schedule_request(hostile)),
+               DecodeError);
+}
+
+TEST(MultiLoadWire, TotalInstallmentBudgetIsEnforcedBeforeAllocation) {
+  // Load count and installment count each individually at their caps
+  // (2^16 and 2^12), but the product would demand 2^28 installment
+  // objects: the budget check refuses before reading a single load.
+  dls::codec::Writer w;
+  w.string("dls.serve.mreq.v1");
+  w.u64(1);              // request_id
+  w.u8(0);               // policy
+  w.u32(1u << 12);       // installments: exactly at the per-load cap
+  w.f64(0.0);            // ingress_z
+  w.f64(0.0);            // deadline_us
+  w.u8(0);               // want_payments
+  w.varint(1);           // |w|
+  w.f64(1.0);
+  w.varint(0);           // |z|
+  w.varint(std::uint64_t{1} << 16);  // load count: exactly at its cap
+  EXPECT_THROW(dls::serve::decode_multi_schedule_request(w.take()),
+               DecodeError);
+}
+
+TEST(MultiLoadWire, NonFiniteFieldsAreRejected) {
+  Rng rng(31);
+  const MultiScheduleRequest good = random_request(rng);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const auto rejects = [](MultiScheduleRequest request) {
+    EXPECT_THROW(dls::serve::decode_multi_schedule_request(
+                     dls::serve::encode_multi_schedule_request(request)),
+                 DecodeError);
+  };
+  {
+    MultiScheduleRequest r = good;
+    r.loads[0].size = inf;
+    rejects(r);
+  }
+  {
+    MultiScheduleRequest r = good;
+    r.loads[0].size = nan;
+    rejects(r);
+  }
+  {
+    MultiScheduleRequest r = good;
+    r.loads[0].release = nan;
+    rejects(r);
+  }
+  {
+    MultiScheduleRequest r = good;
+    r.loads[0].deadline = inf;
+    rejects(r);
+  }
+  {
+    MultiScheduleRequest r = good;
+    r.ingress_z = nan;
+    rejects(r);
+  }
+  {
+    MultiScheduleRequest r = good;
+    r.ingress_z = -0.5;
+    rejects(r);
+  }
+  {
+    MultiScheduleRequest r = good;
+    r.deadline_us = inf;
+    rejects(r);
+  }
 }
 
 TEST(MultiLoadWire, RandomGarbageNeverCrashes) {

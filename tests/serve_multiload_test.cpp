@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <limits>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -332,6 +333,36 @@ TEST(ServeMultiLoadTest, MalformedMultiRequestGetsTypedError) {
   const MultiScheduleResponse response = read_multi(end);
   EXPECT_EQ(response.status, ScheduleStatus::kError);
   EXPECT_FALSE(response.error.empty());
+}
+
+TEST(ServeMultiLoadTest, HostileFramesAreRefusedAndTheServiceSurvives) {
+  SchedulerService service(ServiceConfig{});
+  PipeEnd end = service.connect();
+
+  // installments=2^32-1 would demand ~10^10 installment objects from
+  // the solver; the decoder's cap refuses it before any allocation.
+  MultiScheduleRequest hostile = make_multi(77);
+  hostile.installments = 0xFFFFFFFFu;
+  send_multi(end, hostile);
+  const MultiScheduleResponse capped = read_multi(end);
+  EXPECT_EQ(capped.status, ScheduleStatus::kError);
+  EXPECT_FALSE(capped.error.empty());
+
+  // Non-finite load fields are refused at decode too, never reaching
+  // the solver as garbage timestamps.
+  MultiScheduleRequest poisoned = make_multi(78);
+  poisoned.loads[0].size = std::numeric_limits<double>::quiet_NaN();
+  send_multi(end, poisoned);
+  const MultiScheduleResponse refused = read_multi(end);
+  EXPECT_EQ(refused.status, ScheduleStatus::kError);
+  EXPECT_FALSE(refused.error.empty());
+
+  // The session and the dispatcher are both still alive: a well-formed
+  // request on the same connection is answered normally.
+  send_multi(end, make_multi(79));
+  const MultiScheduleResponse ok = read_multi(end);
+  EXPECT_EQ(ok.request_id, 79u);
+  EXPECT_EQ(ok.status, ScheduleStatus::kOk);
 }
 
 TEST(ServeMultiLoadTest, InfeasibleLoadIsATypedError) {
